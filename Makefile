@@ -1,0 +1,37 @@
+# Convenience targets for the MineSweeper reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B target per paper figure plus the API micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure at full scale (the artifact's do_all.sh analogue).
+figures:
+	$(GO) run ./cmd/msbench -fig all -reps 3 -out experiments_raw.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/uafexploit
+	$(GO) run ./examples/webcache
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/fdpoison
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,139 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation. Each benchmark regenerates its figure through the same code
+// path as cmd/msbench, at a reduced op budget so `go test -bench=.` stays
+// tractable; run `msbench -fig all` for the full-scale reproduction recorded
+// in EXPERIMENTS.md.
+package minesweeper_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"minesweeper/internal/figures"
+	"minesweeper/internal/workload"
+
+	minesweeper "minesweeper"
+)
+
+// benchScale divides workload op budgets for bench runs.
+const benchScale = 20
+
+func runFigure(b *testing.B, fn func(io.Writer, *figures.Runner) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := figures.NewRunner(workload.Options{ScaleDiv: benchScale}, 1)
+		var buf bytes.Buffer
+		if err := fn(&buf, r); err != nil {
+			b.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			b.Fatal("figure produced no output")
+		}
+	}
+}
+
+func BenchmarkFig01_CVETrends(b *testing.B) {
+	runFigure(b, func(w io.Writer, _ *figures.Runner) error { return figures.Fig01CVETrends(w) })
+}
+
+func BenchmarkFig02_Exploit(b *testing.B) {
+	runFigure(b, func(w io.Writer, _ *figures.Runner) error { return figures.Fig02Exploit(w) })
+}
+
+func BenchmarkFig07_Spec2006Slowdown(b *testing.B) { runFigure(b, figures.Fig07Slowdown) }
+
+func BenchmarkFig08_Sphinx3RSS(b *testing.B) { runFigure(b, figures.Fig08Sphinx3RSS) }
+
+func BenchmarkFig09_SlowdownZoom(b *testing.B) { runFigure(b, figures.Fig09SlowdownZoom) }
+
+func BenchmarkFig10_Spec2006Memory(b *testing.B) { runFigure(b, figures.Fig10Memory) }
+
+func BenchmarkFig11_AvgPeakMemory(b *testing.B) { runFigure(b, figures.Fig11AvgPeak) }
+
+func BenchmarkFig12_CPUUtilisation(b *testing.B) { runFigure(b, figures.Fig12CPU) }
+
+func BenchmarkFig13_MostlyConcurrent(b *testing.B) { runFigure(b, figures.Fig13MostlyConcurrent) }
+
+func BenchmarkFig14_SweepCounts(b *testing.B) { runFigure(b, figures.Fig14SweepCounts) }
+
+func BenchmarkFig15_OptTime(b *testing.B) { runFigure(b, figures.Fig15OptTime) }
+
+func BenchmarkFig16_OptMemory(b *testing.B) { runFigure(b, figures.Fig16OptMemory) }
+
+func BenchmarkFig17_OverheadSources(b *testing.B) { runFigure(b, figures.Fig17OverheadSources) }
+
+func BenchmarkFig18_Spec2017(b *testing.B) { runFigure(b, figures.Fig18Spec2017) }
+
+func BenchmarkFig19_MimallocBench(b *testing.B) { runFigure(b, figures.Fig19MimallocBench) }
+
+func BenchmarkSummary(b *testing.B) { runFigure(b, figures.Summary) }
+
+func BenchmarkScudo(b *testing.B) { runFigure(b, figures.FigScudo) }
+
+// API-level micro-benchmarks for the protected allocation fast paths.
+
+func benchProcess(b *testing.B, scheme minesweeper.Scheme) (*minesweeper.Process, *minesweeper.Thread) {
+	b.Helper()
+	p, err := minesweeper.NewProcess(minesweeper.Config{Scheme: scheme})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	th, err := p.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Close the thread before the process: a registered thread that stops
+	// polling safepoints would stall a collector's stop-the-world.
+	b.Cleanup(th.Close)
+	return p, th
+}
+
+func benchMallocFree(b *testing.B, scheme minesweeper.Scheme, size uint64) {
+	_, th := benchProcess(b, scheme)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := th.Malloc(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := th.Free(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMallocFree64_Baseline(b *testing.B) {
+	benchMallocFree(b, minesweeper.SchemeBaseline, 64)
+}
+
+func BenchmarkMallocFree64_MineSweeper(b *testing.B) {
+	benchMallocFree(b, minesweeper.SchemeMineSweeper, 64)
+}
+
+func BenchmarkMallocFree64_MarkUs(b *testing.B) {
+	benchMallocFree(b, minesweeper.SchemeMarkUs, 64)
+}
+
+func BenchmarkMallocFree64_FFMalloc(b *testing.B) {
+	benchMallocFree(b, minesweeper.SchemeFFMalloc, 64)
+}
+
+func BenchmarkLoadStore_MineSweeper(b *testing.B) {
+	_, th := benchProcess(b, minesweeper.SchemeMineSweeper)
+	a, err := th.Malloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := a + uint64(i%512)*8
+		if err := th.Store(addr, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := th.Load(addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

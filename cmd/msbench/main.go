@@ -1,0 +1,133 @@
+// Command msbench regenerates the paper's tables and figures — the analogue
+// of the artifact's do_all.sh (§A.5): it runs each benchmark suite under the
+// baseline and the schemes under test and prints the slowdown, memory,
+// CPU-utilisation and sweep-count comparisons of Figures 1-19 plus the §5.8
+// summary and the §7 Scudo extension.
+//
+// Usage:
+//
+//	msbench -fig 7              # one figure
+//	msbench -fig all            # everything (minutes)
+//	msbench -fig all -scale 10  # quick pass at 1/10 op budget
+//	msbench -fig summary -reps 3
+//
+// Figures sharing workload runs share them via a memoizing runner, so -fig
+// all costs far less than the sum of its parts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"minesweeper/internal/figures"
+	"minesweeper/internal/workload"
+)
+
+type figure struct {
+	id   string
+	desc string
+	run  func(w io.Writer, r *figures.Runner) error
+}
+
+func allFigures() []figure {
+	return []figure{
+		{"1", "use-after-free CVE trends (dataset)", func(w io.Writer, _ *figures.Runner) error { return figures.Fig01CVETrends(w) }},
+		{"2", "exploit prevented per scheme", func(w io.Writer, _ *figures.Runner) error { return figures.Fig02Exploit(w) }},
+		{"7", "SPEC CPU2006 slowdown vs all systems", figures.Fig07Slowdown},
+		{"8", "sphinx3 memory over time", figures.Fig08Sphinx3RSS},
+		{"9", "slowdown zoom: MarkUs/FFMalloc/MineSweeper", figures.Fig09SlowdownZoom},
+		{"10", "SPEC CPU2006 average memory overhead", figures.Fig10Memory},
+		{"11", "MineSweeper average and peak memory", figures.Fig11AvgPeak},
+		{"12", "additional CPU utilisation", figures.Fig12CPU},
+		{"13", "fully vs mostly concurrent", figures.Fig13MostlyConcurrent},
+		{"14", "sweep counts", figures.Fig14SweepCounts},
+		{"15", "run time by optimisation level", figures.Fig15OptTime},
+		{"16", "memory by optimisation level", figures.Fig16OptMemory},
+		{"17", "sources of overheads (partial versions)", figures.Fig17OverheadSources},
+		{"18", "SPECspeed2017", figures.Fig18Spec2017},
+		{"19", "mimalloc-bench stress tests", figures.Fig19MimallocBench},
+		{"summary", "headline geomeans vs paper (§5.8)", figures.Summary},
+		{"scudo", "MineSweeper over Scudo (§7)", figures.FigScudo},
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "", "figure id (1,2,7..19,summary,scudo,all) or comma list")
+	scale := flag.Int("scale", 1, "divide workload op budgets by this factor")
+	reps := flag.Int("reps", 1, "repetitions per run (median taken; paper used 3)")
+	seed := flag.Uint64("seed", 0, "workload seed offset")
+	out := flag.String("out", "", "also write output to this file")
+	list := flag.Bool("list", false, "list figures")
+	flag.Parse()
+
+	figs := allFigures()
+	if *list || *fig == "" {
+		fmt.Println("available figures:")
+		for _, f := range figs {
+			fmt.Printf("  %-8s %s\n", f.id, f.desc)
+		}
+		if *fig == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if *out != "" {
+		var err error
+		file, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msbench:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = io.MultiWriter(os.Stdout, file)
+	}
+
+	runner := figures.NewRunner(workload.Options{ScaleDiv: *scale, Seed: *seed}, *reps)
+
+	var selected []figure
+	if *fig == "all" {
+		selected = figs
+	} else {
+		for _, want := range strings.Split(*fig, ",") {
+			found := false
+			for _, f := range figs {
+				if f.id == strings.TrimSpace(want) {
+					selected = append(selected, f)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "msbench: unknown figure %q (try -list)\n", want)
+				os.Exit(2)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "msbench: %d figure(s), scale 1/%d, reps %d, GOMAXPROCS %d\n",
+		len(selected), *scale, *reps, runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) < 2 {
+		fmt.Fprintf(w, "note: no spare core for concurrent sweepers; slowdowns use the\n")
+		fmt.Fprintf(w, "background-credit adjustment described in EXPERIMENTS.md.\n")
+	}
+	fmt.Fprintln(w)
+
+	start := time.Now()
+	for _, f := range selected {
+		fmt.Fprintf(w, "================================================================\n")
+		if err := f.run(w, runner); err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "msbench: done in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,119 @@
+// Command msrun runs a single benchmark profile under one scheme and prints
+// its measurements — the simulated equivalent of
+//
+//	LD_PRELOAD=lib/minesweeper.so:lib/jemalloc.so ./prog_binary
+//
+// from the paper's artifact appendix (§A.7).
+//
+// Usage:
+//
+//	msrun -bench xalancbmk -scheme minesweeper [-compare] [-scale 1] [-reps 1]
+//	msrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minesweeper/internal/metrics"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark profile name (see -list)")
+	scheme := flag.String("scheme", "minesweeper", "scheme: baseline, minesweeper, minesweeper-mostly, markus, ffmalloc, scudo")
+	compare := flag.Bool("compare", false, "also run the baseline and print ratios")
+	scale := flag.Int("scale", 1, "divide the op budget by this factor")
+	reps := flag.Int("reps", 1, "repetitions (median reported)")
+	list := flag.Bool("list", false, "list available profiles")
+	trace := flag.Bool("trace", false, "print the memory-over-time trace")
+	flag.Parse()
+
+	if *list {
+		tb := metrics.NewTable("profile", "suite", "threads", "kernel")
+		for _, p := range workload.AllProfiles() {
+			k := p.Kernel
+			if k == "" {
+				k = "generic"
+			}
+			tb.AddRow(p.Name, p.Suite, fmt.Sprint(p.Threads), k)
+		}
+		fmt.Print(tb.String())
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "msrun: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	prof, ok := workload.FindProfile(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "msrun: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	factory, err := schemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrun:", err)
+		os.Exit(2)
+	}
+	opts := workload.Options{ScaleDiv: *scale}
+
+	if *compare {
+		c, err := workload.Compare(prof, factory, opts, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrun:", err)
+			os.Exit(1)
+		}
+		printResult(c.Result, *trace)
+		fmt.Printf("\nvs baseline:\n")
+		fmt.Printf("  slowdown      %s\n", metrics.FmtRatio(c.Slowdown))
+		fmt.Printf("  avg memory    %s\n", metrics.FmtRatio(c.AvgMem))
+		fmt.Printf("  peak memory   %s\n", metrics.FmtRatio(c.PeakMem))
+		fmt.Printf("  cpu util      %s\n", metrics.FmtRatio(c.CPUUtil))
+		return
+	}
+	res, err := workload.Run(prof, factory, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrun:", err)
+		os.Exit(1)
+	}
+	printResult(res, *trace)
+}
+
+func schemeByName(name string) (schemes.Factory, error) {
+	for _, k := range []schemes.Kind{
+		schemes.Baseline, schemes.MineSweeper, schemes.MineSweeperMostly,
+		schemes.MarkUs, schemes.FFMalloc, schemes.Scudo,
+		schemes.Oscar, schemes.DangSan, schemes.PSweeper, schemes.CRCount,
+	} {
+		if k.String() == name {
+			return schemes.New(k), nil
+		}
+	}
+	return schemes.Factory{}, fmt.Errorf("unknown scheme %q", name)
+}
+
+func printResult(r workload.Result, withTrace bool) {
+	fmt.Printf("%s under %s\n", r.Profile, r.Scheme)
+	fmt.Printf("  wall time     %v\n", r.Wall.Round(time.Millisecond))
+	fmt.Printf("  avg rss       %s\n", metrics.FmtMiB(r.AvgRSS))
+	fmt.Printf("  peak rss      %s\n", metrics.FmtMiB(r.PeakRSS))
+	fmt.Printf("  mallocs       %d\n", r.Stats.Mallocs)
+	fmt.Printf("  frees         %d\n", r.Stats.Frees)
+	fmt.Printf("  sweeps        %d\n", r.Stats.Sweeps)
+	fmt.Printf("  failed frees  %d\n", r.Stats.FailedFrees)
+	fmt.Printf("  double frees  %d\n", r.Stats.DoubleFrees)
+	fmt.Printf("  bytes swept   %s\n", metrics.FmtMiB(r.Stats.BytesSwept))
+	fmt.Printf("  sweeper busy  %v\n", time.Duration(r.Stats.SweeperCycles).Round(time.Millisecond))
+	fmt.Printf("  stw time      %v\n", time.Duration(r.Stats.STWCycles).Round(time.Microsecond))
+	fmt.Printf("  pause time    %v\n", time.Duration(r.Stats.PauseCycles).Round(time.Microsecond))
+	fmt.Printf("  uaf faults    %d\n", r.UAFs)
+	if withTrace {
+		fmt.Println("  trace (ms, MiB):")
+		for _, s := range r.Trace {
+			fmt.Printf("    %6.1f  %8.2f\n", float64(s.At)/1e6, float64(s.RSS)/(1<<20))
+		}
+	}
+}

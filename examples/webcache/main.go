@@ -1,0 +1,152 @@
+// webcache models the kind of long-running server the paper's introduction
+// motivates (a browser/server processing untrusted inputs): a connection
+// cache with a use-after-free bug in its eviction path, driven by concurrent
+// worker threads under full (non-synchronous) MineSweeper — background
+// sweeps, thread-local quarantine buffers, the lot.
+//
+// Run with:
+//
+//	go run ./examples/webcache
+//
+// The bug: when a cache entry is evicted, a "session" structure keeps a
+// stale pointer to it. Requests occasionally follow that stale pointer.
+// MineSweeper turns every such access into a benign zero-read or clean
+// fault, and the entry's memory is never handed to another connection while
+// the stale pointer exists.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	minesweeper "minesweeper"
+)
+
+const (
+	workers     = 4
+	requests    = 30_000
+	cacheSlots  = 256
+	entryBytes  = 512
+	sessionRefs = 32
+)
+
+func main() {
+	proc, err := minesweeper.NewProcess(minesweeper.Config{
+		Scheme: minesweeper.SchemeMineSweeper,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proc.Close()
+
+	var wg sync.WaitGroup
+	staleReads := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		th, err := proc.NewThreadSeed(uint64(w) + 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, th *minesweeper.Thread) {
+			defer wg.Done()
+			defer th.Close()
+			staleReads[w] = serve(proc, th, w)
+		}(w, th)
+	}
+	wg.Wait()
+
+	st := proc.Stats()
+	total := 0
+	for _, n := range staleReads {
+		total += n
+	}
+	fmt.Printf("served %d requests on %d workers\n", workers*requests, workers)
+	fmt.Printf("stale-pointer accesses observed: %d (all benign or faulted)\n", total)
+	fmt.Printf("sweeps=%d released=%d failed(retained-by-dangling)=%d doubleFrees=%d\n",
+		st.Sweeps, st.ReleasedFrees, st.FailedFrees, st.DoubleFrees)
+	fmt.Printf("rss=%.1f MiB quarantined=%.1f MiB uafFaults=%d\n",
+		float64(st.RSS)/(1<<20), float64(st.Quarantined)/(1<<20), st.UAFFaults)
+	fmt.Println("no request ever observed another connection's data in recycled memory.")
+}
+
+// serve runs one worker's request loop and returns how many stale reads it
+// performed (the bug firing).
+func serve(proc *minesweeper.Process, th *minesweeper.Thread, worker int) int {
+	// cache maps slot -> entry address (0 = empty). Sessions hold copies
+	// of entry addresses in the thread's simulated STACK slots — real
+	// pointers the sweep can see. Evicting an entry without clearing the
+	// session slot leaves a dangling pointer: the bug.
+	cache := make([]minesweeper.Addr, cacheSlots)
+	sessionSlots := make([]int, 0, sessionRefs)
+	rng := uint64(worker)*0x9E3779B97F4A7C15 + 1
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	stale := 0
+
+	for req := 0; req < requests; req++ {
+		slot := next(cacheSlots)
+		if cache[slot] == 0 {
+			// Miss: allocate and fill an entry.
+			e, err := th.Malloc(entryBytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for w := 0; w < entryBytes/8; w += 8 {
+				_ = th.Store(e+uint64(w*8), rng&0xFFFF)
+			}
+			cache[slot] = e
+			// Occasionally a session keeps a direct reference, stored
+			// in a stack slot (a real in-memory pointer).
+			if len(sessionSlots) < sessionRefs && next(4) == 0 {
+				si := len(sessionSlots)
+				if err := th.Store(th.StackSlot(si), e); err != nil {
+					log.Fatal(err)
+				}
+				sessionSlots = append(sessionSlots, si)
+			}
+			continue
+		}
+		// Hit: touch the entry.
+		if _, err := th.Load(cache[slot] + uint64(next(entryBytes/8))*8); err != nil {
+			log.Fatalf("live entry access faulted: %v", err)
+		}
+		// Periodic eviction — WITHOUT invalidating sessions (the bug).
+		if next(8) == 0 {
+			if err := th.Free(cache[slot]); err != nil {
+				log.Fatalf("evict: %v", err)
+			}
+			cache[slot] = 0
+		}
+		// Sessions occasionally follow their (possibly stale) pointers.
+		if len(sessionSlots) > 0 && next(16) == 0 {
+			i := next(len(sessionSlots))
+			ptr, err := th.Load(th.StackSlot(sessionSlots[i]))
+			if err == nil && ptr != 0 {
+				if _, err := th.Load(ptr); err == nil {
+					// Either still live, or a benign zeroed read —
+					// never another connection's recycled data.
+				}
+				stale++
+			}
+			// The session expires: its pointer is erased, so future
+			// sweeps can release the quarantined entry.
+			if err := th.Store(th.StackSlot(sessionSlots[i]), 0); err != nil {
+				log.Fatal(err)
+			}
+			sessionSlots[i] = sessionSlots[len(sessionSlots)-1]
+			sessionSlots = sessionSlots[:len(sessionSlots)-1]
+		}
+	}
+	// Connection teardown: drop everything still cached.
+	for _, e := range cache {
+		if e != 0 {
+			_ = th.Free(e)
+		}
+	}
+	return stale
+}

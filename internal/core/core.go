@@ -1,0 +1,751 @@
+// Package core implements MineSweeper itself: a drop-in layer between the
+// application and the memory allocator that intercepts free(), quarantines
+// allocations, and releases them only once a linear sweep of program memory
+// demonstrates that no (dangling) pointers to them remain (§3).
+//
+// The layer implements every mechanism of the paper:
+//
+//   - free() interception with quarantining and double-free de-duplication
+//     via a shadow map of entries (§3);
+//   - zero-filling freed memory, which flattens the quarantine reference
+//     graph and breaks circular dependencies so a linear sweep suffices
+//     instead of a transitive marking procedure (§4.1);
+//   - unmapping the physical pages of large quarantined allocations, with the
+//     adapted sweep trigger for unmapped memory (§4.2);
+//   - fully concurrent and mostly concurrent (soft-dirty stop-the-world
+//     re-scan) sweeping (§4.3);
+//   - parallel sweeping with a main sweeper plus helper workers that also
+//     split the quarantine recycle phase (§4.4);
+//   - allocator fragmentation management: extent hooks that decommit and
+//     commit instead of purge/demand-fault, plus a full allocator purge after
+//     every sweep (§4.5);
+//   - pausing allocation briefly when the sweep cannot keep up with an
+//     extreme allocation rate (§5.7).
+//
+// Every mechanism has a Config switch so the paper's ablation studies
+// (Figures 15-17) can be reproduced by turning them off one at a time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/quarantine"
+	"minesweeper/internal/shadow"
+	"minesweeper/internal/sweep"
+)
+
+// Mode selects how sweeps are scheduled and synchronised.
+type Mode int
+
+// Sweep modes.
+const (
+	// FullyConcurrent sweeps run entirely on background threads with no
+	// stop-the-world; allocations quarantined after a sweep starts are
+	// only eligible for the next sweep (§4.3). The paper's default.
+	FullyConcurrent Mode = iota
+	// MostlyConcurrent adds a brief stop-the-world re-scan of pages
+	// modified during the concurrent pass, matching MarkUs's guarantees
+	// (§4.3, §5.3).
+	MostlyConcurrent
+	// Synchronous performs the whole sweep on the allocating thread (the
+	// pre-concurrency ablation configuration of Figure 15).
+	Synchronous
+)
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case FullyConcurrent:
+		return "fully-concurrent"
+	case MostlyConcurrent:
+		return "mostly-concurrent"
+	case Synchronous:
+		return "synchronous"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config controls MineSweeper. The zero value is NOT usable; start from
+// DefaultConfig.
+type Config struct {
+	// Mode selects sweep scheduling.
+	Mode Mode
+	// World pauses mutator threads for MostlyConcurrent mode. If nil, the
+	// stop-the-world re-scan still runs but without stopping mutators
+	// (acceptable for tests; real runs supply the simulator's world).
+	World sweep.StopTheWorld
+
+	// SweepThreshold triggers a sweep when mapped quarantined bytes
+	// (minus failed frees) exceed this fraction of the heap (minus failed
+	// frees). The paper uses 0.15 (§3.2).
+	SweepThreshold float64
+	// UnmappedFactor triggers a sweep when unmapped quarantined bytes
+	// exceed this multiple of the program's resident footprint; the paper
+	// uses 9 (§4.2).
+	UnmappedFactor float64
+	// PauseThreshold pauses allocating threads when mapped quarantined
+	// bytes (minus failed frees) exceed this fraction of the heap,
+	// trading slowdown for bounded memory under extreme allocation rates
+	// (§5.7). Zero disables pausing.
+	PauseThreshold float64
+	// Helpers is the number of helper sweep threads besides the main
+	// sweeper (6 in the paper, §4.4).
+	Helpers int
+	// BufferCap is the thread-local quarantine buffer capacity.
+	BufferCap int
+
+	// Optimisation and partial-version switches (Figures 15-17).
+
+	// Quarantine enables quarantining at all. When false, free() forwards
+	// to the allocator (after optional zero/unmap-remap), reproducing the
+	// "base overheads" and "unmapping + zeroing" partial versions (§5.5).
+	Quarantine bool
+	// Zeroing zero-fills memory in free() (§4.1).
+	Zeroing bool
+	// Unmapping releases physical pages of large quarantined allocations
+	// (§4.2).
+	Unmapping bool
+	// Sweeping enables the marking pass and shadow-map filtering. When
+	// false, sweeps release every quarantined allocation unchecked (the
+	// "quarantining"/"concurrency" partial versions, §5.5).
+	Sweeping bool
+	// FailedFrees keeps allocations with discovered pointers in
+	// quarantine. When false, sweeps deallocate regardless (the "sweep"
+	// partial version, §5.5).
+	FailedFrees bool
+	// Purging triggers a full allocator purge after every sweep (§4.5).
+	Purging bool
+	// DebugDoubleFree reports double frees as errors instead of absorbing
+	// them silently (the paper's debug mode, §3).
+	DebugDoubleFree bool
+}
+
+// DefaultConfig returns the paper's default configuration: fully concurrent,
+// 15% sweep threshold, 9x unmapped factor, 6 helpers, all optimisations on.
+func DefaultConfig() Config {
+	return Config{
+		Mode:           FullyConcurrent,
+		SweepThreshold: 0.15,
+		UnmappedFactor: 9.0,
+		PauseThreshold: 3.0,
+		Helpers:        sweep.DefaultHelpers,
+		BufferCap:      quarantine.DefaultBufferCap,
+		Quarantine:     true,
+		Zeroing:        true,
+		Unmapping:      true,
+		Sweeping:       true,
+		FailedFrees:    true,
+		Purging:        true,
+	}
+}
+
+// unmapMinBytes is the minimum allocation size worth a decommit syscall pair.
+const unmapMinBytes = mem.PageSize
+
+// quiescer is optionally implemented by the World: threads blocked in an
+// allocation pause mark themselves quiescent so they do not stall a
+// stop-the-world.
+type quiescer interface {
+	BeginQuiescent()
+	EndQuiescent()
+}
+
+// threadState is MineSweeper's per-mutator-thread state.
+type threadState struct {
+	tbuf   *quarantine.ThreadBuffer
+	subTid alloc.ThreadID // the substrate's ID for this thread
+}
+
+// Heap is the MineSweeper-protected heap: alloc.Allocator over a jemalloc
+// substrate.
+type Heap struct {
+	cfg   Config
+	sub   alloc.Substrate
+	space *mem.AddressSpace
+	marks *shadow.Bitmap
+	// unmappedPages mirrors which heap pages MineSweeper decommitted in
+	// quarantine — the paper's "small shadow bitmap" from §4.5. Sweeps
+	// skip those pages via residency; the bitmap exists for accounting
+	// and for restoring protections on commit.
+	unmappedPages *shadow.Bitmap
+	q             *quarantine.Quarantine
+	sw            *sweep.Sweeper
+
+	threads  atomic.Pointer[[]*threadState]
+	threadMu sync.Mutex
+
+	// Sweeper machinery.
+	sweepReq    chan struct{}
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	sweepMu     sync.Mutex // serialises sweeps (Synchronous vs background)
+	genMu       sync.Mutex
+	genCond     *sync.Cond
+	sweepGen    uint64
+	recycleTids []alloc.ThreadID // one registered jemalloc thread per sweep worker
+
+	// Statistics.
+	sweeps          atomic.Uint64
+	failedFrees     atomic.Uint64
+	releasedFrees   atomic.Uint64
+	lateDoubleFrees atomic.Uint64
+	stwNanos        atomic.Int64
+	pauseNanos      atomic.Int64
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+
+// New builds a MineSweeper heap over space with a jemalloc substrate created
+// internally and MineSweeper's extent hooks installed — the paper's default
+// pairing.
+func New(space *mem.AddressSpace, cfg Config, jcfg jemalloc.Config) (*Heap, error) {
+	h, err := newHeap(space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	jcfg.Hooks = &msHooks{h: h, inner: jcfg.Hooks}
+	return h.attach(jemalloc.New(space, jcfg)), nil
+}
+
+// NewWithSubstrate builds MineSweeper over any allocator substrate (§7: the
+// drop-in layer "can be easily integrated with any allocator" — the Scudo
+// variant uses this entry point).
+func NewWithSubstrate(space *mem.AddressSpace, cfg Config, sub alloc.Substrate) (*Heap, error) {
+	h, err := newHeap(space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.attach(sub), nil
+}
+
+func newHeap(space *mem.AddressSpace, cfg Config) (*Heap, error) {
+	marks, err := shadow.New(mem.HeapBase, mem.HeapLimit, 4)
+	if err != nil {
+		return nil, err
+	}
+	unmapped, err := shadow.New(mem.HeapBase, mem.HeapLimit, mem.PageShift)
+	if err != nil {
+		return nil, err
+	}
+	h := &Heap{
+		cfg:           cfg,
+		space:         space,
+		marks:         marks,
+		unmappedPages: unmapped,
+		q:             quarantine.New(),
+		sweepReq:      make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+	}
+	h.genCond = sync.NewCond(&h.genMu)
+	return h, nil
+}
+
+// attach finalises construction once the substrate exists.
+func (h *Heap) attach(sub alloc.Substrate) *Heap {
+	cfg := h.cfg
+	space := h.space
+	marks := h.marks
+	h.sub = sub
+	h.sw = sweep.New(space, marks, cfg.Helpers)
+
+	// Register one substrate thread per sweep worker so the parallel
+	// recycle phase can free without sharing tcaches.
+	workers := h.sw.Workers()
+	h.recycleTids = make([]alloc.ThreadID, workers)
+	for i := range h.recycleTids {
+		h.recycleTids[i] = h.sub.RegisterThread()
+	}
+
+	empty := make([]*threadState, 0)
+	h.threads.Store(&empty)
+
+	if cfg.Mode != Synchronous {
+		h.wg.Add(1)
+		go h.sweeperLoop()
+	}
+	return h
+}
+
+// msHooks wraps the default extent hooks with MineSweeper's unmapped-page
+// bookkeeping (§4.5): decommit marks pages in the shadow bitmap and commit
+// clears them and restores access.
+type msHooks struct {
+	h     *Heap
+	inner jemalloc.ExtentHooks
+}
+
+func (m *msHooks) hooks() jemalloc.ExtentHooks {
+	if m.inner != nil {
+		return m.inner
+	}
+	return jemalloc.DefaultHooks{}
+}
+
+// Commit implements jemalloc.ExtentHooks.
+func (m *msHooks) Commit(space *mem.AddressSpace, base, size uint64) error {
+	if err := m.hooks().Commit(space, base, size); err != nil {
+		return err
+	}
+	m.h.unmappedPages.ClearRange(base, base+size)
+	return nil
+}
+
+// Decommit implements jemalloc.ExtentHooks.
+func (m *msHooks) Decommit(space *mem.AddressSpace, base, size uint64) error {
+	if err := m.hooks().Decommit(space, base, size); err != nil {
+		return err
+	}
+	for p := base; p < base+size; p += mem.PageSize {
+		m.h.unmappedPages.Mark(p)
+	}
+	return nil
+}
+
+// String returns the scheme name.
+func (h *Heap) String() string {
+	if h.cfg.Mode == MostlyConcurrent {
+		return "minesweeper-mostly"
+	}
+	return "minesweeper"
+}
+
+// Substrate returns the underlying allocator (tests, metrics).
+func (h *Heap) Substrate() alloc.Substrate { return h.sub }
+
+// Quarantined returns mapped quarantined bytes.
+func (h *Heap) Quarantined() uint64 { return h.q.Bytes() }
+
+// RegisterThread implements alloc.Allocator.
+func (h *Heap) RegisterThread() alloc.ThreadID {
+	subTid := h.sub.RegisterThread()
+	h.threadMu.Lock()
+	defer h.threadMu.Unlock()
+	old := *h.threads.Load()
+	nw := make([]*threadState, len(old)+1)
+	copy(nw, old)
+	nw[len(old)] = &threadState{
+		tbuf:   quarantine.NewThreadBuffer(h.q, h.cfg.BufferCap),
+		subTid: subTid,
+	}
+	h.threads.Store(&nw)
+	return alloc.ThreadID(len(old))
+}
+
+// UnregisterThread implements alloc.Allocator.
+func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
+	if ts := h.threadState(tid); ts != nil {
+		ts.tbuf.Flush()
+		h.sub.UnregisterThread(ts.subTid)
+	}
+}
+
+// subTidFor maps a mutator ThreadID to the substrate's ThreadID space.
+func (h *Heap) subTidFor(tid alloc.ThreadID) alloc.ThreadID {
+	if ts := h.threadState(tid); ts != nil {
+		return ts.subTid
+	}
+	return 0
+}
+
+func (h *Heap) threadState(tid alloc.ThreadID) *threadState {
+	ts := *h.threads.Load()
+	if int(tid) < 0 || int(tid) >= len(ts) {
+		return nil
+	}
+	return ts[tid]
+}
+
+// Malloc implements alloc.Allocator. If the quarantine has overwhelmed the
+// sweeper, the call briefly pauses until a sweep completes (§5.7).
+func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
+	h.maybePause(tid)
+	return h.sub.Malloc(h.subTidFor(tid), size)
+}
+
+// maybePause blocks the allocating thread while the quarantine is extremely
+// large relative to the heap, letting the sweeper catch up.
+func (h *Heap) maybePause(tid alloc.ThreadID) {
+	if h.cfg.PauseThreshold <= 0 || h.cfg.Mode == Synchronous || !h.cfg.Quarantine {
+		return
+	}
+	for {
+		qb := h.q.Bytes() - min64(h.q.Bytes(), h.q.FailedBytes())
+		heapB := h.sub.AllocatedBytes()
+		if float64(qb) <= h.cfg.PauseThreshold*float64(heapB+mem.PageSize) {
+			return
+		}
+		// Flush our buffer so our frees are sweepable, then wait for a
+		// sweep to finish. While waiting, the thread is quiescent: it
+		// must not block a mostly-concurrent stop-the-world.
+		if ts := h.threadState(tid); ts != nil {
+			ts.tbuf.Flush()
+		}
+		start := time.Now()
+		qz, _ := h.cfg.World.(quiescer)
+		if qz != nil {
+			qz.BeginQuiescent()
+		}
+		h.genMu.Lock()
+		gen := h.sweepGen
+		h.requestSweep()
+		for h.sweepGen == gen {
+			h.genCond.Wait()
+		}
+		h.genMu.Unlock()
+		if qz != nil {
+			qz.EndQuiescent()
+		}
+		h.pauseNanos.Add(int64(time.Since(start)))
+	}
+}
+
+// Free implements alloc.Allocator: the paper's free() interception.
+func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
+	a, ok := h.sub.Lookup(addr)
+	if !ok || a.Base != addr {
+		if h.q.Contains(addr) {
+			// Double free of a quarantined allocation whose lookup
+			// raced; absorbed (idempotent).
+			return h.doubleFree(addr)
+		}
+		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+	}
+
+	if !h.cfg.Quarantine {
+		// Partial versions (§5.5): optional zero/unmap-remap, then
+		// forward straight to the allocator.
+		if h.cfg.Zeroing && !a.Large {
+			_ = h.space.Zero(a.Base, a.Size)
+		}
+		if h.cfg.Unmapping && a.Large && a.Size >= unmapMinBytes {
+			if err := h.sub.DecommitExtent(a.Base); err == nil {
+				// Immediately remap, as the partial version does.
+				_ = h.space.Commit(a.Base, a.Size, mem.ProtRW)
+				h.unmappedPages.ClearRange(a.Base, a.Base+a.Size)
+			}
+		} else if h.cfg.Zeroing && a.Large {
+			_ = h.space.Zero(a.Base, a.Size)
+		}
+		return h.sub.Free(h.subTidFor(tid), addr)
+	}
+
+	e := h.q.NewEntry(a.Base, a.Size)
+	if !h.q.Insert(e) {
+		return h.doubleFree(addr)
+	}
+
+	// Large allocations that will be unmapped need no explicit zeroing:
+	// the decommit discards their contents (and any pointers within).
+	unmapped := false
+	if h.cfg.Unmapping && a.Large && a.Size >= unmapMinBytes {
+		if err := h.sub.DecommitExtent(a.Base); err == nil {
+			h.q.NoteUnmapped(e)
+			unmapped = true
+		}
+	}
+	if h.cfg.Zeroing && !unmapped {
+		_ = h.space.Zero(a.Base, a.Size)
+	}
+
+	if ts := h.threadState(tid); ts != nil {
+		ts.tbuf.Push(e)
+	} else {
+		h.q.Append([]*quarantine.Entry{e})
+	}
+	h.maybeTriggerSweep(tid)
+	return nil
+}
+
+// doubleFree accounts an absorbed double free, or reports it in debug mode.
+func (h *Heap) doubleFree(addr uint64) error {
+	if h.cfg.DebugDoubleFree {
+		return fmt.Errorf("%w: %#x (quarantined)", alloc.ErrDoubleFree, addr)
+	}
+	return nil
+}
+
+// maybeTriggerSweep checks the two sweep triggers (§3.2, §4.2) and requests
+// a sweep when either fires.
+func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
+	qb := h.q.Bytes()
+	fb := h.q.FailedBytes()
+	heapB := h.sub.AllocatedBytes()
+	effQ := qb - min64(qb, fb)
+	effH := heapB - min64(heapB, fb)
+	trigger := float64(effQ) > h.cfg.SweepThreshold*float64(effH)
+	if !trigger && h.cfg.UnmappedFactor > 0 {
+		trigger = float64(h.q.UnmappedBytes()) > h.cfg.UnmappedFactor*float64(h.space.RSS())
+	}
+	if !trigger {
+		return
+	}
+	// Our thread's buffered frees must be in the global list to be swept.
+	if ts := h.threadState(tid); ts != nil {
+		ts.tbuf.Flush()
+	}
+	if h.cfg.Mode == Synchronous {
+		h.runSweep()
+		return
+	}
+	h.requestSweep()
+}
+
+// requestSweep signals the background sweeper (non-blocking; coalesces).
+func (h *Heap) requestSweep() {
+	select {
+	case h.sweepReq <- struct{}{}:
+	default:
+	}
+}
+
+// sweeperLoop is the main sweeper thread.
+func (h *Heap) sweeperLoop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.sweepReq:
+			h.runSweep()
+		}
+	}
+}
+
+// runSweep performs one complete sweep: lock-in, mark, optional STW re-scan,
+// filter-and-recycle, shadow clear, purge (§3.1, §4).
+func (h *Heap) runSweep() {
+	h.sweepMu.Lock()
+	defer h.sweepMu.Unlock()
+
+	locked := h.q.LockIn()
+	if len(locked) > 0 {
+		if h.cfg.Sweeping {
+			if h.cfg.Mode == MostlyConcurrent {
+				h.space.ClearSoftDirty()
+			}
+			h.sw.MarkAll()
+			if h.cfg.Mode == MostlyConcurrent {
+				start := time.Now()
+				if h.cfg.World != nil {
+					h.cfg.World.Stop()
+				}
+				h.sw.MarkDirty()
+				if h.cfg.World != nil {
+					h.cfg.World.Start()
+				}
+				h.stwNanos.Add(int64(time.Since(start)))
+			}
+		}
+		h.filterAndRecycle(locked)
+		if h.cfg.Sweeping {
+			h.marks.ClearAll()
+		}
+		if h.cfg.Purging {
+			h.sub.PurgeAll()
+		}
+		h.sweeps.Add(1)
+	}
+
+	h.genMu.Lock()
+	h.sweepGen++
+	h.genMu.Unlock()
+	h.genCond.Broadcast()
+}
+
+// filterAndRecycle consults the shadow map for each locked-in entry and
+// either releases it to the allocator or returns it to quarantine. The list
+// is divided equally among the sweep workers (§4.4).
+func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
+	start := time.Now()
+	workers := len(h.recycleTids)
+	if workers > len(locked) {
+		workers = len(locked)
+	}
+	failed := make([][]*quarantine.Entry, workers)
+	var wg sync.WaitGroup
+	chunk := (len(locked) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(locked) {
+			hi = len(locked)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tid := h.recycleTids[w]
+			var fails []*quarantine.Entry
+			for _, e := range locked[lo:hi] {
+				dangling := false
+				if h.cfg.Sweeping {
+					dangling = h.marks.AnyInRange(e.Base, e.Base+e.Size)
+				}
+				if dangling && h.cfg.FailedFrees {
+					h.q.NoteFailed(e)
+					h.failedFrees.Add(1)
+					fails = append(fails, e)
+					continue
+				}
+				if dangling {
+					// Partial version: counted but freed anyway.
+					h.failedFrees.Add(1)
+				}
+				base := e.Base // e is recycled by Release
+				h.q.Release(e)
+				h.releasedFrees.Add(1)
+				if err := h.sub.Free(tid, base); err != nil {
+					// A program can double-free an allocation whose
+					// first free was already released and recycled;
+					// the second free re-enters quarantine looking
+					// live and the substrate detects the duplicate
+					// here. That is undefined behaviour in the
+					// program; absorb it (the substrate rejected the
+					// free, so nothing is corrupted).
+					if errors.Is(err, alloc.ErrDoubleFree) || errors.Is(err, alloc.ErrInvalidFree) {
+						h.lateDoubleFrees.Add(1)
+						continue
+					}
+					panic("core: substrate free failed: " + err.Error())
+				}
+			}
+			failed[w] = fails
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, fails := range failed {
+		if len(fails) > 0 {
+			h.q.Requeue(fails)
+		}
+	}
+	h.sw.AddBusyTime(sweep.BusyShare(time.Since(start), workers))
+}
+
+// Sweep forces a complete sweep synchronously (tests and shutdown). All
+// thread buffers known to be quiescent should be flushed by their owners
+// first; FlushThread helps.
+func (h *Heap) Sweep() { h.runSweep() }
+
+// FlushThread publishes tid's buffered frees to the global quarantine.
+func (h *Heap) FlushThread(tid alloc.ThreadID) {
+	if ts := h.threadState(tid); ts != nil {
+		ts.tbuf.Flush()
+	}
+}
+
+// UsableSize implements alloc.Allocator. Quarantined allocations are not
+// usable (they are freed from the program's perspective).
+func (h *Heap) UsableSize(addr uint64) uint64 {
+	if h.q.Contains(addr) {
+		return 0
+	}
+	return h.sub.UsableSize(addr)
+}
+
+// Tick implements alloc.Allocator.
+func (h *Heap) Tick(now uint64) { h.sub.Tick(now) }
+
+// Stats implements alloc.Allocator.
+func (h *Heap) Stats() alloc.Stats {
+	st := h.sub.Stats()
+	// The substrate counts quarantined allocations as live; separate them.
+	q := h.q.Bytes() + h.q.UnmappedBytes()
+	if st.Allocated >= q {
+		st.Allocated -= q
+	} else {
+		st.Allocated = 0
+	}
+	st.Quarantined = h.q.Bytes() + h.q.UnmappedBytes()
+	st.QuarantinedUnmapped = h.q.UnmappedBytes()
+	st.MetaBytes += h.q.MetaBytes() + h.marks.FootprintBytes() + h.unmappedPages.FootprintBytes()
+	st.Sweeps = h.sweeps.Load()
+	st.FailedFrees = h.failedFrees.Load()
+	st.ReleasedFrees = h.releasedFrees.Load()
+	st.DoubleFrees = h.q.DoubleFrees() + h.lateDoubleFrees.Load()
+	st.SweeperCycles = uint64(h.sw.BusyTime())
+	st.STWCycles = uint64(h.stwNanos.Load())
+	st.PauseCycles = uint64(h.pauseNanos.Load())
+	st.BytesSwept = h.sw.BytesSwept()
+	return st
+}
+
+// Shutdown implements alloc.Allocator: stops the sweeper thread.
+func (h *Heap) Shutdown() {
+	if h.cfg.Mode != Synchronous {
+		close(h.stop)
+		h.wg.Wait()
+	}
+}
+
+// CheckInvariants verifies cross-structure consistency and returns the first
+// violation found, or nil. It is a debugging and testing aid; it takes the
+// sweep lock, so no sweep runs concurrently. Invariants checked:
+//
+//  1. every quarantined entry's base is still a live allocation at the
+//     substrate (the quarantine owns it — nothing may have freed it);
+//  2. entry sizes match the substrate's usable sizes;
+//  3. quarantine byte accounting equals the sum over entries;
+//  4. unmapped entries really have no resident pages.
+func (h *Heap) CheckInvariants() error {
+	h.sweepMu.Lock()
+	defer h.sweepMu.Unlock()
+
+	var err error
+	var mapped, unmapped, failed uint64
+	h.q.ForEach(func(e *quarantine.Entry) {
+		if err != nil {
+			return
+		}
+		a, ok := h.sub.Lookup(e.Base)
+		if !ok || a.Base != e.Base {
+			err = fmt.Errorf("core: invariant: quarantined %#x not live at substrate", e.Base)
+			return
+		}
+		if a.Size != e.Size {
+			err = fmt.Errorf("core: invariant: entry %#x size %d != substrate %d", e.Base, e.Size, a.Size)
+			return
+		}
+		if e.Unmapped {
+			unmapped += e.Size
+			if r := h.space.Lookup(e.Base); r != nil && r.PageResident(r.PageIndex(e.Base)) {
+				err = fmt.Errorf("core: invariant: unmapped entry %#x has resident pages", e.Base)
+				return
+			}
+		} else {
+			mapped += e.Size
+		}
+		if e.Failed {
+			failed += e.Size
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if got := h.q.Bytes(); got != mapped {
+		return fmt.Errorf("core: invariant: mapped bytes account %d != entry sum %d", got, mapped)
+	}
+	if got := h.q.UnmappedBytes(); got != unmapped {
+		return fmt.Errorf("core: invariant: unmapped bytes account %d != entry sum %d", got, unmapped)
+	}
+	if got := h.q.FailedBytes(); got != failed {
+		return fmt.Errorf("core: invariant: failed bytes account %d != entry sum %d", got, failed)
+	}
+	return nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+// Package dangsan implements the DangSan baseline (van der Kouwe et al.,
+// EuroSys 2017): scalable use-after-free detection via pointer tracking with
+// nullification. DangSan observes that pointer metadata is heavily
+// write-intensive — written on every pointer store but read only once, at
+// deallocation — so it structures the metadata as an append-only per-object
+// log with light de-duplication. On free(), the log is walked and every
+// location that still points into the freed object is overwritten with an
+// invalid (poison) value, so later dereferences fault instead of aliasing a
+// reallocated object; the memory itself is released immediately (§6.4).
+//
+// The per-store log append is the simulator's alloc.PointerObserver hook, so
+// its cost lands on the mutator — reproducing DangSan's high time overheads
+// on pointer-write-heavy programs and its large metadata footprint (the
+// paper's Figure 10 shows up to 135x memory).
+package dangsan
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+)
+
+// Poison is the invalid pointer value dangling locations are overwritten
+// with: non-canonical, so any dereference faults (DangSan points into
+// inaccessible kernel space).
+const Poison uint64 = 0xDEAD_0000_0000_0000
+
+const shards = 64
+
+// dedupWindow is the per-log tail window checked to avoid consecutive
+// duplicate entries (DangSan's "some de-duplication").
+const dedupWindow = 4
+
+type logShard struct {
+	mu sync.Mutex
+	// logs maps allocation base -> locations that held pointers to it.
+	logs map[uint64][]uint64
+}
+
+// Heap is the DangSan-protected heap.
+type Heap struct {
+	je    *jemalloc.Heap
+	space *mem.AddressSpace
+
+	shards [shards]logShard
+
+	logBytes   atomic.Int64
+	nullified  atomic.Uint64
+	ptrUpdates atomic.Uint64
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+var _ alloc.PointerObserver = (*Heap)(nil)
+
+// New builds a DangSan heap over space.
+func New(space *mem.AddressSpace, jcfg jemalloc.Config) *Heap {
+	h := &Heap{space: space, je: jemalloc.New(space, jcfg)}
+	for i := range h.shards {
+		h.shards[i].logs = make(map[uint64][]uint64)
+	}
+	return h
+}
+
+// String returns the scheme name.
+func (h *Heap) String() string { return "dangsan" }
+
+func (h *Heap) shardFor(base uint64) *logShard {
+	return &h.shards[((base>>4)*0x9E3779B97F4A7C15)>>58]
+}
+
+// RegisterThread implements alloc.Allocator.
+func (h *Heap) RegisterThread() alloc.ThreadID { return h.je.RegisterThread() }
+
+// UnregisterThread implements alloc.Allocator.
+func (h *Heap) UnregisterThread(tid alloc.ThreadID) { h.je.UnregisterThread(tid) }
+
+// Malloc implements alloc.Allocator.
+func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
+	return h.je.Malloc(tid, size)
+}
+
+// NoteStore implements alloc.PointerObserver: log the location against the
+// pointee. Stale entries (locations later overwritten) stay in the log and
+// are filtered at free time by re-checking the location — exactly DangSan's
+// design trade: cheap writes, one expensive read at deallocation.
+func (h *Heap) NoteStore(_ alloc.ThreadID, addr, _, new uint64) {
+	if !mem.IsHeapAddr(new) {
+		return
+	}
+	a, ok := h.je.Lookup(new)
+	if !ok {
+		return
+	}
+	h.ptrUpdates.Add(1)
+	s := h.shardFor(a.Base)
+	s.mu.Lock()
+	log := s.logs[a.Base]
+	// Tail-window de-duplication.
+	for i := len(log) - 1; i >= 0 && i >= len(log)-dedupWindow; i-- {
+		if log[i] == addr {
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.logs[a.Base] = append(log, addr)
+	s.mu.Unlock()
+	h.logBytes.Add(8)
+}
+
+// Free implements alloc.Allocator: nullify all recorded dangling pointers,
+// then release the memory immediately.
+func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
+	a, ok := h.je.Lookup(addr)
+	if !ok || a.Base != addr {
+		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+	}
+
+	s := h.shardFor(a.Base)
+	s.mu.Lock()
+	log := s.logs[a.Base]
+	delete(s.logs, a.Base)
+	s.mu.Unlock()
+	h.logBytes.Add(-8 * int64(len(log)))
+
+	end := a.Base + a.Size
+	for _, loc := range log {
+		// The location itself may be gone (it was inside another freed
+		// object); a failed load just skips it.
+		v, err := h.space.Load64(loc)
+		if err != nil || v < a.Base || v >= end {
+			continue // stale entry: no longer points at this object
+		}
+		// Nullify: poison plus the original offset, as DangSan preserves
+		// the offset bits for debugging.
+		if err := h.space.Store64(loc, Poison|(v-a.Base)); err == nil {
+			h.nullified.Add(1)
+		}
+	}
+	return h.je.Free(tid, addr)
+}
+
+// UsableSize implements alloc.Allocator.
+func (h *Heap) UsableSize(addr uint64) uint64 { return h.je.UsableSize(addr) }
+
+// Tick implements alloc.Allocator.
+func (h *Heap) Tick(now uint64) { h.je.Tick(now) }
+
+// Nullified returns how many dangling pointers were invalidated.
+func (h *Heap) Nullified() uint64 { return h.nullified.Load() }
+
+// Stats implements alloc.Allocator.
+func (h *Heap) Stats() alloc.Stats {
+	st := h.je.Stats()
+	// The pointer logs are DangSan's dominant metadata cost.
+	if lb := h.logBytes.Load(); lb > 0 {
+		st.MetaBytes += uint64(lb)
+	}
+	var entries int
+	for i := range h.shards {
+		h.shards[i].mu.Lock()
+		entries += len(h.shards[i].logs)
+		h.shards[i].mu.Unlock()
+	}
+	st.MetaBytes += uint64(entries) * 48
+	st.ReleasedFrees = st.Frees
+	return st
+}
+
+// Shutdown implements alloc.Allocator.
+func (h *Heap) Shutdown() {}

@@ -1,0 +1,271 @@
+// Package ffmalloc implements the FFMalloc baseline (Wickman et al., USENIX
+// Security 2021): a one-time allocator that prevents use-after-reallocate by
+// construction. Virtual addresses are never reused — allocation proceeds by
+// bumping through fresh address space in increasing order — so a dangling
+// pointer can never alias a newer allocation. Physical pages are released as
+// soon as every allocation touching them has been freed.
+//
+// The paper's evaluation shows the consequences this design has and which
+// this reproduction preserves: very low time overhead (no sweeping at all),
+// but memory that grows with the allocation *rate* for long-lived mixed
+// workloads, because one long-lived object keeps its whole page resident
+// forever while the VA around it can never be recycled (Figure 8's
+// constantly-increasing RSS, and the 244% average / 1070% worst-case
+// overheads of Figure 10).
+package ffmalloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+// poolBytes is the size of each bump pool mapped for small allocations.
+const poolBytes = 4 << 20
+
+// smallMax is the largest request served from bump pools; larger requests
+// get their own mapping (FFMalloc similarly separates large allocations).
+const smallMax = 2048
+
+// pool is one bump region for a size class.
+type pool struct {
+	region *mem.Region
+	next   uint64  // bump pointer
+	live   []int32 // per-page live allocation counts
+}
+
+// sizeClasses for the bump pools: powers of two from 16 to 2048, as in
+// FFMalloc's binned small-object allocator.
+var sizeClasses = []uint64{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+func classFor(size uint64) int {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+type largeAlloc struct {
+	region *mem.Region
+	size   uint64
+}
+
+// Heap is the FFMalloc one-time allocator.
+type Heap struct {
+	space *mem.AddressSpace
+
+	mu    sync.Mutex
+	pools []*pool // one per size class
+
+	largeMu sync.Mutex
+	large   map[uint64]*largeAlloc
+
+	metaMu sync.Mutex
+	sizes  map[uint64]uint64 // small base -> class size (live only)
+	pages  map[uint64]*pool  // page number -> owning pool
+
+	allocated atomic.Int64
+	mallocs   atomic.Uint64
+	frees     atomic.Uint64
+	vaUsed    atomic.Uint64 // total VA consumed (never recycled)
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+
+// New returns an FFMalloc heap over space.
+func New(space *mem.AddressSpace) *Heap {
+	return &Heap{
+		space: space,
+		pools: make([]*pool, len(sizeClasses)),
+		large: make(map[uint64]*largeAlloc),
+		sizes: make(map[uint64]uint64),
+		pages: make(map[uint64]*pool),
+	}
+}
+
+// String returns the scheme name.
+func (h *Heap) String() string { return "ffmalloc" }
+
+// RegisterThread implements alloc.Allocator (no per-thread state).
+func (h *Heap) RegisterThread() alloc.ThreadID { return 0 }
+
+// UnregisterThread implements alloc.Allocator.
+func (h *Heap) UnregisterThread(alloc.ThreadID) {}
+
+// Malloc implements alloc.Allocator. Addresses are handed out in strictly
+// increasing order and never reused.
+func (h *Heap) Malloc(_ alloc.ThreadID, size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	var addr uint64
+	var usable uint64
+	if size <= smallMax {
+		var err error
+		addr, usable, err = h.mallocSmall(size)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		var err error
+		addr, usable, err = h.mallocLarge(size)
+		if err != nil {
+			return 0, err
+		}
+	}
+	h.allocated.Add(int64(usable))
+	h.mallocs.Add(1)
+	return addr, nil
+}
+
+func (h *Heap) mallocSmall(size uint64) (uint64, uint64, error) {
+	c := classFor(size)
+	cs := sizeClasses[c]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.pools[c]
+	if p == nil || p.next+cs > p.region.End() {
+		if p != nil {
+			// Retiring the pool: any fully-dead pages that were
+			// waiting for the bump pointer can now be released.
+			for i := range p.live {
+				if p.live[i] == 0 {
+					_ = h.space.Decommit(p.region.Base()+uint64(i)<<mem.PageShift, mem.PageSize)
+				}
+			}
+		}
+		r, err := h.space.Map(mem.KindHeap, poolBytes, true)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
+		}
+		p = &pool{region: r, next: r.Base(), live: make([]int32, r.PageCount())}
+		h.pools[c] = p
+		h.vaUsed.Add(poolBytes)
+		h.metaMu.Lock()
+		first := r.Base() >> mem.PageShift
+		for i := 0; i < r.PageCount(); i++ {
+			h.pages[first+uint64(i)] = p
+		}
+		h.metaMu.Unlock()
+	}
+	addr := p.next
+	p.next += cs
+	for pg := addr >> mem.PageShift; pg <= (addr+cs-1)>>mem.PageShift; pg++ {
+		p.live[pg-(p.region.Base()>>mem.PageShift)]++
+	}
+	h.metaMu.Lock()
+	h.sizes[addr] = cs
+	h.metaMu.Unlock()
+	return addr, cs, nil
+}
+
+func (h *Heap) mallocLarge(size uint64) (uint64, uint64, error) {
+	sz := mem.PageCeil(size)
+	r, err := h.space.Map(mem.KindHeap, sz, true)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
+	}
+	h.vaUsed.Add(sz)
+	h.largeMu.Lock()
+	h.large[r.Base()] = &largeAlloc{region: r, size: sz}
+	h.largeMu.Unlock()
+	return r.Base(), sz, nil
+}
+
+// Free implements alloc.Allocator. The address range is retired permanently;
+// physical pages whose allocations are all dead are released immediately.
+func (h *Heap) Free(_ alloc.ThreadID, addr uint64) error {
+	// Large?
+	h.largeMu.Lock()
+	if la, ok := h.large[addr]; ok {
+		delete(h.large, addr)
+		h.largeMu.Unlock()
+		// Unmap the whole region: the VA is never reused, so it can
+		// disappear entirely.
+		if err := h.space.Unmap(la.region); err != nil {
+			return err
+		}
+		h.allocated.Add(-int64(la.size))
+		h.frees.Add(1)
+		return nil
+	}
+	h.largeMu.Unlock()
+
+	h.metaMu.Lock()
+	cs, ok := h.sizes[addr]
+	if !ok {
+		h.metaMu.Unlock()
+		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+	}
+	delete(h.sizes, addr)
+	p := h.pages[addr>>mem.PageShift]
+	h.metaMu.Unlock()
+
+	h.mu.Lock()
+	firstPage := p.region.Base() >> mem.PageShift
+	for pg := addr >> mem.PageShift; pg <= (addr+cs-1)>>mem.PageShift; pg++ {
+		i := pg - firstPage
+		p.live[i]--
+		if p.live[i] == 0 && h.pageRetired(p, i) {
+			// All allocations on this page are dead and the bump
+			// pointer has moved past it: release the physical page.
+			_ = h.space.Decommit(p.region.Base()+uint64(i)<<mem.PageShift, mem.PageSize)
+		}
+	}
+	h.mu.Unlock()
+	h.allocated.Add(-int64(cs))
+	h.frees.Add(1)
+	return nil
+}
+
+// pageRetired reports whether page i of p can no longer receive allocations
+// (the bump pointer has passed it entirely).
+func (h *Heap) pageRetired(p *pool, i uint64) bool {
+	pageEnd := p.region.Base() + (i+1)<<mem.PageShift
+	return p.next >= pageEnd
+}
+
+// UsableSize implements alloc.Allocator.
+func (h *Heap) UsableSize(addr uint64) uint64 {
+	h.metaMu.Lock()
+	if cs, ok := h.sizes[addr]; ok {
+		h.metaMu.Unlock()
+		return cs
+	}
+	h.metaMu.Unlock()
+	h.largeMu.Lock()
+	defer h.largeMu.Unlock()
+	if la, ok := h.large[addr]; ok {
+		return la.size
+	}
+	return 0
+}
+
+// Tick implements alloc.Allocator (no background work).
+func (h *Heap) Tick(uint64) {}
+
+// VAUsed returns total virtual address space consumed — monotonically
+// increasing, FFMalloc's defining property.
+func (h *Heap) VAUsed() uint64 { return h.vaUsed.Load() }
+
+// Stats implements alloc.Allocator.
+func (h *Heap) Stats() alloc.Stats {
+	h.metaMu.Lock()
+	meta := uint64(len(h.sizes)+len(h.pages)) * 24
+	h.metaMu.Unlock()
+	return alloc.Stats{
+		Allocated: uint64(h.allocated.Load()),
+		Active:    h.space.RSS(),
+		MetaBytes: meta,
+		Mallocs:   h.mallocs.Load(),
+		Frees:     h.frees.Load(),
+	}
+}
+
+// Shutdown implements alloc.Allocator.
+func (h *Heap) Shutdown() {}

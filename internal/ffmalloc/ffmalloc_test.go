@@ -1,0 +1,244 @@
+package ffmalloc
+
+import (
+	"errors"
+	"testing"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+func newHeap(t testing.TB) (*Heap, *mem.AddressSpace) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	return New(as), as
+}
+
+func TestAddressesNeverReused(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		a, err := h.Malloc(tid, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x reused", a)
+		}
+		seen[a] = true
+		if err := h.Free(tid, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAddressesMonotonicallyIncrease(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	var prev uint64
+	for i := 0; i < 1000; i++ {
+		a, err := h.Malloc(tid, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a <= prev {
+			t.Fatalf("address %#x not greater than previous %#x", a, prev)
+		}
+		prev = a
+		_ = h.Free(tid, a)
+	}
+}
+
+func TestPhysicalPagesReleasedWhenDead(t *testing.T) {
+	h, as := newHeap(t)
+	tid := h.RegisterThread()
+	// Fill a few pages worth of one class, then free everything.
+	var addrs []uint64
+	for i := 0; i < 1024; i++ { // 1024 * 64B = 16 pages
+		a, err := h.Malloc(tid, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	rssFull := as.RSS()
+	for _, a := range addrs {
+		if err := h.Free(tid, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := as.RSS(); got >= rssFull {
+		t.Errorf("RSS = %d after freeing all, want < %d", got, rssFull)
+	}
+}
+
+func TestLongLivedObjectPinsPage(t *testing.T) {
+	// FFMalloc's fragmentation pathology: one survivor keeps its page
+	// resident while the VA around it is lost forever.
+	h, as := newHeap(t)
+	tid := h.RegisterThread()
+	var addrs []uint64
+	for i := 0; i < 640; i++ { // 10 pages of 64B objects
+		a, _ := h.Malloc(tid, 64)
+		addrs = append(addrs, a)
+	}
+	// Keep one object per page (64 objects per page).
+	var freedRSS = func() uint64 {
+		for i, a := range addrs {
+			if i%64 == 0 {
+				continue // survivor
+			}
+			if err := h.Free(tid, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return as.RSS()
+	}()
+	// All 10 pages must still be resident despite 98% of bytes being dead.
+	if freedRSS < 10*mem.PageSize {
+		t.Errorf("RSS = %d, want >= %d (survivors pin pages)", freedRSS, 10*mem.PageSize)
+	}
+}
+
+func TestLargeAllocationUnmappedOnFree(t *testing.T) {
+	h, as := newHeap(t)
+	tid := h.RegisterThread()
+	a, err := h.Malloc(tid, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.RSS() < 1<<20 {
+		t.Fatal("large allocation not resident")
+	}
+	if err := h.Free(tid, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.RSS(); got != 0 {
+		t.Errorf("RSS = %d after large free, want 0", got)
+	}
+	// VA is gone entirely: access faults.
+	if _, err := as.Load64(a); err == nil {
+		t.Error("load of retired large VA succeeded")
+	}
+}
+
+func TestVAGrowsMonotonically(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	va0 := h.VAUsed()
+	for i := 0; i < 100; i++ {
+		a, _ := h.Malloc(tid, 100<<10)
+		_ = h.Free(tid, a)
+	}
+	if h.VAUsed() <= va0 {
+		t.Error("VAUsed did not grow")
+	}
+	if h.VAUsed() < 100*(100<<10) {
+		t.Errorf("VAUsed = %d, want >= %d (never recycles)", h.VAUsed(), 100*(100<<10))
+	}
+}
+
+func TestUsableSize(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	a, _ := h.Malloc(tid, 100)
+	if got := h.UsableSize(a); got != 128 {
+		t.Errorf("UsableSize(small) = %d, want 128", got)
+	}
+	b, _ := h.Malloc(tid, 5000)
+	if got := h.UsableSize(b); got != 2*mem.PageSize {
+		t.Errorf("UsableSize(large) = %d, want %d", got, 2*mem.PageSize)
+	}
+	_ = h.Free(tid, a)
+	if got := h.UsableSize(a); got != 0 {
+		t.Errorf("UsableSize(freed) = %d, want 0", got)
+	}
+}
+
+func TestInvalidFree(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	if err := h.Free(tid, mem.HeapBase+64); !errors.Is(err, alloc.ErrInvalidFree) {
+		t.Errorf("Free(wild) = %v, want ErrInvalidFree", err)
+	}
+	a, _ := h.Malloc(tid, 64)
+	_ = h.Free(tid, a)
+	if err := h.Free(tid, a); !errors.Is(err, alloc.ErrInvalidFree) {
+		t.Errorf("Free(retired) = %v, want ErrInvalidFree", err)
+	}
+}
+
+func TestDanglingPointerCanNeverAlias(t *testing.T) {
+	// The one-time allocator's core guarantee: after free, no future
+	// allocation ever overlaps the old one.
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	old, _ := h.Malloc(tid, 256)
+	oldEnd := old + 256
+	_ = h.Free(tid, old)
+	for i := 0; i < 10000; i++ {
+		a, err := h.Malloc(tid, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a < oldEnd && a+256 > old {
+			t.Fatalf("new allocation %#x overlaps retired range [%#x,%#x)", a, old, oldEnd)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	h, _ := newHeap(t)
+	tid := h.RegisterThread()
+	a, _ := h.Malloc(tid, 64)
+	st := h.Stats()
+	if st.Allocated != 64 || st.Mallocs != 1 {
+		t.Errorf("Allocated/Mallocs = %d/%d, want 64/1", st.Allocated, st.Mallocs)
+	}
+	_ = h.Free(tid, a)
+	st = h.Stats()
+	if st.Allocated != 0 || st.Frees != 1 {
+		t.Errorf("Allocated/Frees = %d/%d, want 0/1", st.Allocated, st.Frees)
+	}
+}
+
+func TestAllocationSpanningPages(t *testing.T) {
+	h, as := newHeap(t)
+	tid := h.RegisterThread()
+	// 2048-byte allocations: every second one straddles a page boundary.
+	var addrs []uint64
+	for i := 0; i < 8; i++ {
+		a, _ := h.Malloc(tid, 2048)
+		addrs = append(addrs, a)
+	}
+	rss := as.RSS()
+	// Free all: all touched pages release.
+	for _, a := range addrs {
+		if err := h.Free(tid, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := as.RSS(); got >= rss {
+		t.Errorf("RSS = %d, want < %d", got, rss)
+	}
+	// Writes to freed spanning allocations fault (pages released).
+	if err := as.Store64(addrs[0], 1); err == nil {
+		t.Error("store to released page succeeded")
+	}
+}
+
+func BenchmarkMallocFree(b *testing.B) {
+	h := New(mem.NewAddressSpace())
+	tid := h.RegisterThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := h.Malloc(tid, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Free(tid, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

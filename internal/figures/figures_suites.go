@@ -1,0 +1,158 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"minesweeper/internal/metrics"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/workload"
+)
+
+// suiteGrid runs every profile of a suite under the given schemes.
+func (r *Runner) suiteGrid(profiles []workload.Profile, kinds []schemes.Kind) (map[string]map[string]workload.Comparison, error) {
+	grid := make(map[string]map[string]workload.Comparison)
+	for _, prof := range profiles {
+		grid[prof.Name] = make(map[string]workload.Comparison)
+		for _, kind := range kinds {
+			c, err := r.ratios(prof, schemes.New(kind))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", prof.Name, kind, err)
+			}
+			grid[prof.Name][kind.String()] = c
+		}
+	}
+	return grid, nil
+}
+
+// Fig18Spec2017 renders Figure 18: SPECspeed2017 time and memory overheads.
+func Fig18Spec2017(w io.Writer, r *Runner) error {
+	profiles := workload.Spec2017()
+	grid, err := r.suiteGrid(profiles, reRunKinds)
+	if err != nil {
+		return err
+	}
+	star := func(name string) string {
+		if workload.Spec2017Parallel(name) {
+			return name + "*"
+		}
+		return name
+	}
+	fprintf(w, "Figure 18: SPECspeed2017 overheads (* = OpenMP-parallel)\n\n(a) time\n\n")
+	tb := metrics.NewTable("benchmark", "markus", "ffmalloc", "minesweeper")
+	for _, p := range profiles {
+		row := grid[p.Name]
+		tb.AddRow(star(p.Name),
+			metrics.FmtRatio(row["markus"].Slowdown),
+			metrics.FmtRatio(row["ffmalloc"].Slowdown),
+			metrics.FmtRatio(row["minesweeper"].Slowdown))
+	}
+	tb.AddRow("geomean",
+		metrics.FmtRatio(geomeanOf(grid, "markus", slow)),
+		metrics.FmtRatio(geomeanOf(grid, "ffmalloc", slow)),
+		metrics.FmtRatio(geomeanOf(grid, "minesweeper", slow)))
+	fprintf(w, "%s\n(b) average memory\n\n", tb)
+	tb = metrics.NewTable("benchmark", "markus", "ffmalloc", "minesweeper")
+	for _, p := range profiles {
+		row := grid[p.Name]
+		tb.AddRow(star(p.Name),
+			metrics.FmtRatio(row["markus"].AvgMem),
+			metrics.FmtRatio(row["ffmalloc"].AvgMem),
+			metrics.FmtRatio(row["minesweeper"].AvgMem))
+	}
+	tb.AddRow("geomean",
+		metrics.FmtRatio(geomeanOf(grid, "markus", avgMem)),
+		metrics.FmtRatio(geomeanOf(grid, "ffmalloc", avgMem)),
+		metrics.FmtRatio(geomeanOf(grid, "minesweeper", avgMem)))
+	fprintf(w, "%s\n", tb)
+	fprintf(w, "Paper: MineSweeper 1.108 time / 1.079 memory; FFMalloc 1.053 / 1.222;\n")
+	fprintf(w, "MarkUs 1.163 / 1.126. Worst cases: xalancbmk 2.0x, wrf 1.66x for MineSweeper.\n")
+	return nil
+}
+
+// Fig19MimallocBench renders Figure 19: the mimalloc-bench stress tests.
+func Fig19MimallocBench(w io.Writer, r *Runner) error {
+	profiles := workload.MimallocBench()
+	grid, err := r.suiteGrid(profiles, reRunKinds)
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Figure 19: mimalloc-bench stress tests\n\n(a) time\n\n")
+	tb := metrics.NewTable("benchmark", "markus", "ffmalloc", "minesweeper")
+	for _, p := range profiles {
+		row := grid[p.Name]
+		tb.AddRow(p.Name,
+			metrics.FmtRatio(row["markus"].Slowdown),
+			metrics.FmtRatio(row["ffmalloc"].Slowdown),
+			metrics.FmtRatio(row["minesweeper"].Slowdown))
+	}
+	tb.AddRow("geomean",
+		metrics.FmtRatio(geomeanOf(grid, "markus", slow)),
+		metrics.FmtRatio(geomeanOf(grid, "ffmalloc", slow)),
+		metrics.FmtRatio(geomeanOf(grid, "minesweeper", slow)))
+	fprintf(w, "%s\n(b) average memory\n\n", tb)
+	tb = metrics.NewTable("benchmark", "markus", "ffmalloc", "minesweeper")
+	for _, p := range profiles {
+		row := grid[p.Name]
+		tb.AddRow(p.Name,
+			metrics.FmtRatio(row["markus"].AvgMem),
+			metrics.FmtRatio(row["ffmalloc"].AvgMem),
+			metrics.FmtRatio(row["minesweeper"].AvgMem))
+	}
+	tb.AddRow("geomean",
+		metrics.FmtRatio(geomeanOf(grid, "markus", avgMem)),
+		metrics.FmtRatio(geomeanOf(grid, "ffmalloc", avgMem)),
+		metrics.FmtRatio(geomeanOf(grid, "minesweeper", avgMem)))
+	fprintf(w, "%s\n", tb)
+	fprintf(w, "Paper (geomeans): MineSweeper 2.7x time / 4.0x memory; MarkUs 6.7x / 1.7x\n")
+	fprintf(w, "(121x worst-case time); FFMalloc 2.16x / 7.2x (97x worst-case memory).\n")
+	fprintf(w, "These kernels only allocate and free — the unrealistic pressure case (§5.7).\n")
+	return nil
+}
+
+// FigScudo renders the §7 extension result: MineSweeper attached to the
+// Scudo-style hardened allocator.
+func FigScudo(w io.Writer, r *Runner) error {
+	fprintf(w, "Section 7: MineSweeper over a Scudo-style hardened allocator\n\n")
+	grid, err := r.specGrid([]schemes.Kind{schemes.Scudo})
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable("benchmark", "slowdown", "avg memory")
+	for _, name := range workload.Spec2006Names() {
+		c := grid[name]["scudo-minesweeper"]
+		tb.AddRow(name, metrics.FmtRatio(c.Slowdown), metrics.FmtRatio(c.AvgMem))
+	}
+	tb.AddRow("geomean",
+		metrics.FmtRatio(geomeanOf(grid, "scudo-minesweeper", slow)),
+		metrics.FmtRatio(geomeanOf(grid, "scudo-minesweeper", avgMem)))
+	fprintf(w, "%s\n", tb)
+	fprintf(w, "Paper: \"we have also built a Scudo implementation at 4.4%% overhead\".\n")
+	fprintf(w, "Note: ratios here compare against the jemalloc baseline, so they include the\n")
+	fprintf(w, "hardened allocator's own cost as well as MineSweeper's.\n")
+	return nil
+}
+
+// Summary renders the §5.8 headline numbers.
+func Summary(w io.Writer, r *Runner) error {
+	grid, err := r.specGrid([]schemes.Kind{schemes.MineSweeper, schemes.MineSweeperMostly, schemes.MarkUs, schemes.FFMalloc})
+	if err != nil {
+		return err
+	}
+	fprintf(w, "Summary (§5.8): SPEC CPU2006 geometric means, measured vs paper\n\n")
+	tb := metrics.NewTable("scheme", "slowdown", "(paper)", "avg memory", "(paper)")
+	row := func(scheme string, pt, pm float64) {
+		tb.AddRow(scheme,
+			metrics.FmtRatio(geomeanOf(grid, scheme, slow)), fmt.Sprintf("(%.3f)", pt),
+			metrics.FmtRatio(geomeanOf(grid, scheme, avgMem)), fmt.Sprintf("(%.3f)", pm))
+	}
+	h := metrics.PaperHeadline
+	row("minesweeper", h.MSSlowdown, h.MSMemory)
+	row("minesweeper-mostly", h.MSMostlySlowdown, h.MSMostlyMemory)
+	row("markus", h.MarkUsSlowdown, h.MarkUsMemory)
+	row("ffmalloc", h.FFSlowdown, h.FFMemory)
+	fprintf(w, "%s\n", tb)
+	fprintf(w, "The claim under test: MineSweeper delivers low overhead on BOTH axes at once,\n")
+	fprintf(w, "where MarkUs pays time and FFMalloc pays memory.\n")
+	return nil
+}

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/workload"
+)
+
+func testRunner() *Runner {
+	return NewRunner(workload.Options{ScaleDiv: 100}, 1)
+}
+
+func TestFig01(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig01CVETrends(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2019", "National Vulnerability Database", "Linux kernel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestFig02(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig02Exploit(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "EXPLOITED") {
+		t.Error("baseline not exploited")
+	}
+	if strings.Count(out, "EXPLOITED") > 2 { // once in table, once in legend at most
+		t.Errorf("too many EXPLOITED rows:\n%s", out)
+	}
+}
+
+func TestSpecFiguresSmoke(t *testing.T) {
+	// One shared runner: figures must reuse memoized results, and each
+	// must render every benchmark plus a geomean row.
+	r := testRunner()
+	figs := map[string]func(*testing.T) string{
+		"fig9": func(t *testing.T) string {
+			var buf bytes.Buffer
+			if err := Fig09SlowdownZoom(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		},
+		"fig10": func(t *testing.T) string {
+			var buf bytes.Buffer
+			if err := Fig10Memory(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		},
+		"fig11": func(t *testing.T) string {
+			var buf bytes.Buffer
+			if err := Fig11AvgPeak(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		},
+		"fig12": func(t *testing.T) string {
+			var buf bytes.Buffer
+			if err := Fig12CPU(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		},
+		"fig14": func(t *testing.T) string {
+			var buf bytes.Buffer
+			if err := Fig14SweepCounts(&buf, r); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		},
+	}
+	for name, fn := range figs {
+		out := fn(t)
+		for _, bench := range workload.Spec2006Names() {
+			if !strings.Contains(out, bench) {
+				t.Errorf("%s: missing benchmark %s", name, bench)
+			}
+		}
+		if name != "fig14" && !strings.Contains(out, "geomean") {
+			t.Errorf("%s: missing geomean row", name)
+		}
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := testRunner()
+	prof, _ := workload.FindProfile("espresso")
+	a, err := r.result(prof, schemes.New(schemes.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.result(prof, schemes.New(schemes.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Wall != b.Wall {
+		t.Error("second call re-ran instead of memoizing")
+	}
+}
+
+func TestFig08Buckets(t *testing.T) {
+	r := testRunner()
+	var buf bytes.Buffer
+	if err := Fig08Sphinx3RSS(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100%") {
+		t.Error("trace buckets missing final time point")
+	}
+}

@@ -1,0 +1,106 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§5). Each FigNN function runs the required workloads (memoized
+// across figures, so one msbench invocation shares baseline runs), renders
+// the same rows or series the paper plots, and reports the paper's published
+// value next to the measured one where the paper states it.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"minesweeper/internal/core"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/workload"
+)
+
+// Runner executes workload/scheme pairs with memoization.
+type Runner struct {
+	// Opts tunes runs (scale divisor, seed).
+	Opts workload.Options
+	// Reps is the repetition count (median taken), the paper's 3.
+	Reps int
+
+	mu    sync.Mutex
+	cache map[string]workload.Result
+}
+
+// NewRunner returns a Runner.
+func NewRunner(opts workload.Options, reps int) *Runner {
+	if reps < 1 {
+		reps = 1
+	}
+	return &Runner{Opts: opts, Reps: reps, cache: make(map[string]workload.Result)}
+}
+
+// result runs (or recalls) prof under the factory.
+func (r *Runner) result(prof workload.Profile, f schemes.Factory) (workload.Result, error) {
+	key := prof.Suite + "/" + prof.Name + "/" + f.Name
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	best := workload.Result{}
+	var results []workload.Result
+	for i := 0; i < r.Reps; i++ {
+		res, err := workload.Run(prof, f, r.Opts)
+		if err != nil {
+			return best, err
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Wall < results[j].Wall })
+	best = results[len(results)/2]
+
+	r.mu.Lock()
+	r.cache[key] = best
+	r.mu.Unlock()
+	return best, nil
+}
+
+// ratios compares prof under f against the memoized baseline.
+func (r *Runner) ratios(prof workload.Profile, f schemes.Factory) (workload.Comparison, error) {
+	base, err := r.result(prof, schemes.New(schemes.Baseline))
+	if err != nil {
+		return workload.Comparison{}, err
+	}
+	got, err := r.result(prof, f)
+	if err != nil {
+		return workload.Comparison{}, err
+	}
+	gw := float64(workload.AdjustedWall(got, prof.Threads))
+	bw := float64(workload.AdjustedWall(base, prof.Threads))
+	return workload.Comparison{
+		Profile:  prof.Name,
+		Scheme:   f.Name,
+		Slowdown: safeDiv(gw, bw),
+		AvgMem:   safeDiv(float64(got.AvgRSS), float64(base.AvgRSS)),
+		PeakMem:  safeDiv(float64(got.PeakRSS), float64(base.PeakRSS)),
+		CPUUtil:  1 + float64(got.Stats.SweeperCycles)/(gw+1),
+		Result:   got,
+	}, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}
+
+// msVariant builds a MineSweeper factory with a tweaked core config.
+func msVariant(name string, mutate func(*core.Config)) schemes.Factory {
+	cfg := core.DefaultConfig()
+	mutate(&cfg)
+	return schemes.Custom(name, cfg)
+}
+
+// fprintf writes, ignoring errors (report writers are in-memory or stdout).
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}

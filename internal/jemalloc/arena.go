@@ -1,0 +1,155 @@
+package jemalloc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/mem"
+)
+
+// arena owns extent allocation and recycling. Freed extents go onto
+// per-page-count dirty lists; they are reused LIFO by new extent requests,
+// and purged (decommitted via the extent hooks) either by decay — jemalloc's
+// background aging of dirty memory — or by an explicit PurgeAll, which is
+// what MineSweeper triggers after every sweep (§4.5).
+type arena struct {
+	mu    sync.Mutex
+	space *mem.AddressSpace
+	hooks ExtentHooks
+	pm    *pageMap
+
+	// dirty holds free extents by page count. Purged (decommitted)
+	// extents stay listed: their VA is "retained" and can be recommitted,
+	// like jemalloc's retained extents.
+	dirty      map[int][]*Extent
+	dirtyBytes uint64 // committed bytes on dirty lists
+
+	decayCycles uint64 // dirty extents older than this get purged on Tick
+	now         uint64 // last observed virtual time
+
+	nExtents int
+	purges   atomic.Uint64
+}
+
+func newArena(space *mem.AddressSpace, hooks ExtentHooks, decayCycles uint64) *arena {
+	return &arena{
+		space:       space,
+		hooks:       hooks,
+		pm:          newPageMap(),
+		dirty:       make(map[int][]*Extent),
+		decayCycles: decayCycles,
+	}
+}
+
+// allocExtent returns a committed extent of exactly `pages` pages, reusing a
+// dirty extent when one is available. Recycled extents that were never purged
+// retain their previous contents (as real recycled memory does); purged or
+// fresh extents read as zero.
+func (a *arena) allocExtent(pages int) (*Extent, error) {
+	a.mu.Lock()
+	if list := a.dirty[pages]; len(list) > 0 {
+		e := list[len(list)-1]
+		a.dirty[pages] = list[:len(list)-1]
+		if e.committed {
+			a.dirtyBytes -= e.size
+		}
+		a.mu.Unlock()
+		if !e.committed {
+			if err := a.hooks.Commit(a.space, e.base, e.size); err != nil {
+				return nil, err
+			}
+			e.committed = true
+		}
+		return e, nil
+	}
+	a.nExtents++
+	a.mu.Unlock()
+
+	r, err := a.space.Map(mem.KindHeap, uint64(pages)*mem.PageSize, true)
+	if err != nil {
+		return nil, err
+	}
+	e := &Extent{
+		region:    r,
+		base:      r.Base(),
+		size:      r.Size(),
+		committed: true,
+	}
+	a.pm.insert(e)
+	return e, nil
+}
+
+// freeExtent places e on the dirty list for later reuse or purging.
+func (a *arena) freeExtent(e *Extent) {
+	e.slab = false
+	e.largeAlloc = false
+	a.mu.Lock()
+	e.dirtyStamp = a.now
+	a.dirty[e.pages()] = append(a.dirty[e.pages()], e)
+	if e.committed {
+		a.dirtyBytes += e.size
+	}
+	a.mu.Unlock()
+}
+
+// purgeLocked decommits e's pages. Caller holds a.mu; e is on a dirty list.
+func (a *arena) purgeLocked(e *Extent) {
+	if !e.committed {
+		return
+	}
+	// Hooks may be user-supplied; call outside the critical section in
+	// bulk operations if this ever contends. Decommit cannot fail for
+	// in-range extents, and an error here would mean a substrate bug.
+	if err := a.hooks.Decommit(a.space, e.base, e.size); err != nil {
+		panic("jemalloc: decommit failed: " + err.Error())
+	}
+	e.committed = false
+	a.dirtyBytes -= e.size
+}
+
+// Tick advances virtual time and purges dirty extents older than the decay
+// deadline, modelling jemalloc's decay-based purging.
+func (a *arena) Tick(now uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.now = now
+	if a.decayCycles == 0 {
+		return
+	}
+	purged := false
+	for _, list := range a.dirty {
+		for _, e := range list {
+			if e.committed && now-e.dirtyStamp >= a.decayCycles {
+				a.purgeLocked(e)
+				purged = true
+			}
+		}
+	}
+	if purged {
+		a.purges.Add(1)
+	}
+}
+
+// PurgeAll decommits every dirty extent immediately — the enhanced cleanup
+// MineSweeper triggers after each sweep.
+func (a *arena) PurgeAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, list := range a.dirty {
+		for _, e := range list {
+			a.purgeLocked(e)
+		}
+	}
+	a.purges.Add(1)
+}
+
+// dirtyStats returns (committed dirty bytes, extent count) for stats.
+func (a *arena) dirtyStats() (uint64, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, list := range a.dirty {
+		n += len(list)
+	}
+	return a.dirtyBytes, n
+}

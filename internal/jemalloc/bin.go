@@ -1,0 +1,97 @@
+package jemalloc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+// bin manages the slabs of one small size class: a current slab that serves
+// allocations, plus a list of other non-full slabs. Fully-free slabs (other
+// than the current one) are returned to the arena's dirty lists so purging
+// can reclaim them.
+type bin struct {
+	mu      sync.Mutex
+	class   int
+	size    uint64
+	current *Extent
+	nonfull []*Extent
+	nslabs  int
+	// slabBytes is the heap-wide live-slab byte counter, updated here so
+	// callers need not reach under the bin lock for accounting.
+	slabBytes *atomic.Int64
+}
+
+// allocBatch fills out[:n] with up to n region addresses, returning how many
+// were produced. Batching amortises the bin lock across a whole tcache fill.
+func (b *bin) allocBatch(a *arena, out []uint64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	got := 0
+	for got < len(out) {
+		if b.current == nil || b.current.nfree == 0 {
+			if n := len(b.nonfull); n > 0 {
+				b.current = b.nonfull[n-1]
+				b.nonfull = b.nonfull[:n-1]
+			} else {
+				e, err := a.allocExtent(SlabPages(b.class))
+				if err != nil {
+					if got > 0 {
+						return got, nil
+					}
+					return 0, err
+				}
+				e.initSlab(b.class)
+				b.nslabs++
+				b.slabBytes.Add(int64(SlabPages(b.class) * mem.PageSize))
+				b.current = e
+			}
+		}
+		for got < len(out) && b.current.nfree > 0 {
+			out[got] = b.current.popRegion()
+			got++
+		}
+	}
+	return got, nil
+}
+
+// freeRegion returns one region to its slab, reporting a double free if the
+// region is already free. The extent must belong to this bin's class.
+// Fully-free non-current slabs are handed back to the arena.
+func (b *bin) freeRegion(a *arena, e *Extent, idx int) error {
+	b.mu.Lock()
+	if e.regionFree(idx) {
+		b.mu.Unlock()
+		return alloc.ErrDoubleFree
+	}
+	wasFull := e.nfree == 0
+	e.pushRegion(idx)
+	var release *Extent
+	if e != b.current {
+		if e.nfree == e.nregs {
+			// Entirely free: remove from nonfull (it is there unless
+			// it was full) and release to the arena.
+			if !wasFull {
+				for i, s := range b.nonfull {
+					if s == e {
+						b.nonfull[i] = b.nonfull[len(b.nonfull)-1]
+						b.nonfull = b.nonfull[:len(b.nonfull)-1]
+						break
+					}
+				}
+			}
+			b.nslabs--
+			b.slabBytes.Add(-int64(SlabPages(b.class) * mem.PageSize))
+			release = e
+		} else if wasFull {
+			b.nonfull = append(b.nonfull, e)
+		}
+	}
+	b.mu.Unlock()
+	if release != nil {
+		a.freeExtent(release)
+	}
+	return nil
+}

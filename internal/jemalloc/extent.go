@@ -1,0 +1,184 @@
+package jemalloc
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/mem"
+)
+
+// ExtentHooks is the allocator's interface to physical-memory management,
+// mirroring jemalloc's extent_hooks_t. The default hooks commit and decommit
+// pages directly; MineSweeper installs hooks that additionally maintain its
+// unmapped-page shadow bitmap and access protections (§4.5: "we hook onto
+// JeMalloc's extent management via the extent hook API ... instead of a purge
+// call and demand-allocation, we use a pair of calls: decommit and commit").
+type ExtentHooks interface {
+	// Commit makes [base, base+size) resident and accessible.
+	Commit(space *mem.AddressSpace, base, size uint64) error
+	// Decommit discards the physical backing of [base, base+size) and
+	// makes it inaccessible.
+	Decommit(space *mem.AddressSpace, base, size uint64) error
+}
+
+// DefaultHooks commits and decommits pages with ProtRW and no bookkeeping.
+type DefaultHooks struct{}
+
+// Commit implements ExtentHooks.
+func (DefaultHooks) Commit(space *mem.AddressSpace, base, size uint64) error {
+	return space.Commit(base, size, mem.ProtRW)
+}
+
+// Decommit implements ExtentHooks.
+func (DefaultHooks) Decommit(space *mem.AddressSpace, base, size uint64) error {
+	return space.Decommit(base, size)
+}
+
+// Extent is a contiguous run of pages managed by the arena: either a slab
+// (carved into equal small regions) or a single large allocation. Extent
+// metadata lives out of line in Go memory, never in the simulated address
+// space — the property the paper relies on for metadata safety.
+type Extent struct {
+	region *mem.Region
+	base   uint64
+	size   uint64 // bytes, page multiple
+
+	// Slab state. For large extents slab is false and the fields below it
+	// are unused.
+	slab    bool
+	class   int
+	regSize uint64
+	nregs   int
+	// freemap words (bit set = region free) are written only under the
+	// owning bin's lock but read lock-free by Lookup/UsableSize (the
+	// quarantine's validation path), so all accesses are atomic.
+	freemap []uint64
+	nfree   int
+
+	// Large-allocation state.
+	largeAlloc bool // a live large allocation occupies this extent
+
+	committed  bool   // physical backing present
+	dirtyStamp uint64 // virtual time when placed on the dirty list
+}
+
+// Base returns the extent's first address.
+func (e *Extent) Base() uint64 { return e.base }
+
+// Size returns the extent's size in bytes.
+func (e *Extent) Size() uint64 { return e.size }
+
+// pages returns the extent's size in pages.
+func (e *Extent) pages() int { return int(e.size / mem.PageSize) }
+
+// initSlab configures the extent as an all-free slab of the given class.
+func (e *Extent) initSlab(class int) {
+	e.slab = true
+	e.largeAlloc = false
+	e.class = class
+	e.regSize = ClassSize(class)
+	e.nregs = int(e.size / e.regSize)
+	words := (e.nregs + 63) / 64
+	if cap(e.freemap) >= words {
+		e.freemap = e.freemap[:words]
+	} else {
+		e.freemap = make([]uint64, words)
+	}
+	for i := range e.freemap {
+		atomic.StoreUint64(&e.freemap[i], ^uint64(0))
+	}
+	// Clear bits past nregs so popcounts stay honest.
+	if rem := e.nregs % 64; rem != 0 {
+		atomic.StoreUint64(&e.freemap[words-1], (1<<rem)-1)
+	}
+	e.nfree = e.nregs
+}
+
+// initLarge configures the extent as a single large allocation.
+func (e *Extent) initLarge() {
+	e.slab = false
+	e.largeAlloc = true
+	e.class = -1
+	e.regSize = 0
+	e.nregs = 0
+	e.nfree = 0
+}
+
+// popRegion allocates the lowest-index free region and returns its address.
+// The caller must hold the owning bin's lock and have checked nfree > 0.
+func (e *Extent) popRegion() uint64 {
+	for w := range e.freemap {
+		word := atomic.LoadUint64(&e.freemap[w])
+		if word != 0 {
+			bit := bits.TrailingZeros64(word)
+			atomic.StoreUint64(&e.freemap[w], word&^(1<<bit))
+			e.nfree--
+			return e.base + uint64(w*64+bit)*e.regSize
+		}
+	}
+	panic("jemalloc: popRegion on full slab")
+}
+
+// regionIndex returns the region index containing addr, which must lie in
+// the extent.
+func (e *Extent) regionIndex(addr uint64) int { return int((addr - e.base) / e.regSize) }
+
+// regionBase returns the base address of region i.
+func (e *Extent) regionBase(i int) uint64 { return e.base + uint64(i)*e.regSize }
+
+// regionFree reports whether region i is free.
+func (e *Extent) regionFree(i int) bool {
+	return atomic.LoadUint64(&e.freemap[i/64])&(1<<(i%64)) != 0
+}
+
+// pushRegion returns region i to the slab. The caller must hold the owning
+// bin's lock; the region must be allocated.
+func (e *Extent) pushRegion(i int) {
+	atomic.OrUint64(&e.freemap[i/64], 1<<(i%64))
+	e.nfree++
+}
+
+// pageMap locates the extent owning any page, so Free can go from an address
+// to its extent. It is the analogue of jemalloc's rtree.
+type pageMap struct {
+	mu sync.RWMutex
+	m  map[uint64]*Extent // page number -> extent
+}
+
+func newPageMap() *pageMap { return &pageMap{m: make(map[uint64]*Extent)} }
+
+// insert registers every page of e.
+func (pm *pageMap) insert(e *Extent) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	first := e.base >> mem.PageShift
+	for p := 0; p < e.pages(); p++ {
+		pm.m[first+uint64(p)] = e
+	}
+}
+
+// remove deregisters every page of e.
+func (pm *pageMap) remove(e *Extent) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	first := e.base >> mem.PageShift
+	for p := 0; p < e.pages(); p++ {
+		delete(pm.m, first+uint64(p))
+	}
+}
+
+// lookup returns the extent owning addr's page, or nil.
+func (pm *pageMap) lookup(addr uint64) *Extent {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return pm.m[addr>>mem.PageShift]
+}
+
+// footprint estimates the page map's metadata bytes.
+func (pm *pageMap) footprint() uint64 {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	// map entry ~ 2 words key/value plus bucket overhead.
+	return uint64(len(pm.m)) * 24
+}

@@ -1,0 +1,332 @@
+package jemalloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+// Config controls the allocator's behaviour.
+type Config struct {
+	// Hooks manage physical memory for extents. Nil means DefaultHooks.
+	Hooks ExtentHooks
+	// PadEnd grows every request by one byte so that one-past-the-end
+	// pointers lie within the same allocation (the paper's jemalloc
+	// modification for C/C++ end() pointer compatibility).
+	PadEnd bool
+	// DecayCycles is the virtual-time age after which dirty extents are
+	// purged on Tick. Zero disables decay purging.
+	DecayCycles uint64
+	// TcacheEnabled enables per-thread caches.
+	TcacheEnabled bool
+}
+
+// DefaultConfig mirrors stock jemalloc behaviour: tcache on, decay purging
+// of dirty extents (jemalloc's 10-second decay curve, expressed here in
+// virtual operation-count time at simulator scale), end-pointer pad on.
+func DefaultConfig() Config {
+	return Config{
+		Hooks:         DefaultHooks{},
+		PadEnd:        true,
+		DecayCycles:   100_000,
+		TcacheEnabled: true,
+	}
+}
+
+// Heap is a jemalloc-style allocator over a simulated address space. It
+// implements alloc.Allocator and is the substrate both the baseline and
+// MineSweeper run on.
+type Heap struct {
+	space *mem.AddressSpace
+	cfg   Config
+	arena *arena
+	bins  []bin
+
+	tcMu     sync.Mutex
+	tcaches  atomic.Pointer[[]*tcache]
+	nthreads atomic.Int32
+
+	allocated atomic.Int64 // live usable bytes
+	largeLive atomic.Int64 // live large usable bytes
+	slabBytes atomic.Int64 // bytes in live slabs
+	mallocs   atomic.Uint64
+	frees     atomic.Uint64
+}
+
+var _ alloc.Substrate = (*Heap)(nil)
+
+// New returns a Heap over space.
+func New(space *mem.AddressSpace, cfg Config) *Heap {
+	if cfg.Hooks == nil {
+		cfg.Hooks = DefaultHooks{}
+	}
+	h := &Heap{
+		space: space,
+		cfg:   cfg,
+		arena: newArena(space, cfg.Hooks, cfg.DecayCycles),
+		bins:  make([]bin, NumClasses()),
+	}
+	for c := range h.bins {
+		h.bins[c].class = c
+		h.bins[c].size = ClassSize(c)
+		h.bins[c].slabBytes = &h.slabBytes
+	}
+	empty := make([]*tcache, 0)
+	h.tcaches.Store(&empty)
+	return h
+}
+
+// String returns the scheme name.
+func (h *Heap) String() string { return "jemalloc" }
+
+// Space returns the underlying address space.
+func (h *Heap) Space() *mem.AddressSpace { return h.space }
+
+// RegisterThread implements alloc.Allocator.
+func (h *Heap) RegisterThread() alloc.ThreadID {
+	h.tcMu.Lock()
+	defer h.tcMu.Unlock()
+	old := *h.tcaches.Load()
+	nw := make([]*tcache, len(old)+1)
+	copy(nw, old)
+	nw[len(old)] = newTcache()
+	h.tcaches.Store(&nw)
+	h.nthreads.Add(1)
+	return alloc.ThreadID(len(old))
+}
+
+// UnregisterThread flushes the thread's caches back to the shared bins.
+func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
+	tc := h.tcacheFor(tid)
+	if tc == nil {
+		return
+	}
+	for c := range tc.bins {
+		for _, addr := range tc.drainAll(c) {
+			e := h.arena.pm.lookup(addr)
+			if e != nil {
+				_ = h.bins[c].freeRegion(h.arena, e, e.regionIndex(addr))
+			}
+		}
+	}
+}
+
+func (h *Heap) tcacheFor(tid alloc.ThreadID) *tcache {
+	if !h.cfg.TcacheEnabled {
+		return nil
+	}
+	tcs := *h.tcaches.Load()
+	if int(tid) < 0 || int(tid) >= len(tcs) {
+		return nil
+	}
+	return tcs[tid]
+}
+
+// Malloc implements alloc.Allocator.
+func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	req := size
+	if h.cfg.PadEnd {
+		req++
+	}
+	var addr uint64
+	var usable uint64
+	if IsSmall(req) {
+		class := SizeToClass(req)
+		usable = ClassSize(class)
+		tc := h.tcacheFor(tid)
+		if tc != nil {
+			addr = tc.pop(class)
+		}
+		if addr == 0 {
+			var err error
+			addr, err = h.smallSlow(tc, class)
+			if err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		pages := LargePages(req)
+		e, err := h.arena.allocExtent(int(pages))
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
+		}
+		e.initLarge()
+		addr = e.base
+		usable = e.size
+		h.largeLive.Add(int64(usable))
+	}
+	h.allocated.Add(int64(usable))
+	h.mallocs.Add(1)
+	return addr, nil
+}
+
+// smallSlow refills the tcache from the bin (or allocates one region when
+// tcache is disabled).
+func (h *Heap) smallSlow(tc *tcache, class int) (uint64, error) {
+	b := &h.bins[class]
+	want := 1
+	if tc != nil {
+		want = tc.fillTarget(class)
+		if want < 1 {
+			want = 1
+		}
+	}
+	buf := make([]uint64, want)
+	n, err := b.allocBatch(h.arena, buf)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
+	}
+	addr := buf[0]
+	if tc != nil {
+		for _, a := range buf[1:n] {
+			tc.push(class, a)
+		}
+	}
+	return addr, nil
+}
+
+// Free implements alloc.Allocator.
+func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
+	e := h.arena.pm.lookup(addr)
+	if e == nil {
+		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+	}
+	if e.slab {
+		return h.freeSmall(tid, e, addr)
+	}
+	if !e.largeAlloc || addr != e.base {
+		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+	}
+	usable := e.size
+	h.arena.freeExtent(e)
+	h.largeLive.Add(-int64(usable))
+	h.allocated.Add(-int64(usable))
+	h.frees.Add(1)
+	return nil
+}
+
+func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
+	idx := e.regionIndex(addr)
+	if e.regionBase(idx) != addr {
+		return fmt.Errorf("%w: %#x is interior", alloc.ErrInvalidFree, addr)
+	}
+	class := e.class
+	usable := ClassSize(class)
+	tc := h.tcacheFor(tid)
+	if tc != nil {
+		if tc.contains(class, addr) {
+			return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
+		}
+		if e.regionFree(idx) {
+			return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
+		}
+		if full := tc.push(class, addr); full {
+			h.flushTbin(tc, class)
+		}
+	} else {
+		if err := h.bins[class].freeRegion(h.arena, e, idx); err != nil {
+			return err
+		}
+	}
+	h.allocated.Add(-int64(usable))
+	h.frees.Add(1)
+	return nil
+}
+
+// flushTbin returns the oldest half of a tcache bin to the shared bin.
+func (h *Heap) flushTbin(tc *tcache, class int) {
+	b := &h.bins[class]
+	for _, addr := range tc.drainHalf(class) {
+		e := h.arena.pm.lookup(addr)
+		if e == nil {
+			continue
+		}
+		_ = b.freeRegion(h.arena, e, e.regionIndex(addr))
+	}
+}
+
+// UsableSize implements alloc.Allocator.
+func (h *Heap) UsableSize(addr uint64) uint64 {
+	a, ok := h.Lookup(addr)
+	if !ok || a.Base != addr {
+		return 0
+	}
+	return a.Size
+}
+
+// Lookup returns the live allocation containing addr. It underpins
+// MineSweeper's free-interception layer: the quarantine validates and sizes
+// incoming frees through it.
+func (h *Heap) Lookup(addr uint64) (alloc.Allocation, bool) {
+	e := h.arena.pm.lookup(addr)
+	if e == nil {
+		return alloc.Allocation{}, false
+	}
+	if e.slab {
+		idx := e.regionIndex(addr)
+		if e.regionFree(idx) {
+			return alloc.Allocation{}, false
+		}
+		return alloc.Allocation{Base: e.regionBase(idx), Size: e.regSize}, true
+	}
+	if !e.largeAlloc {
+		return alloc.Allocation{}, false
+	}
+	return alloc.Allocation{Base: e.base, Size: e.size, Large: true}, true
+}
+
+// DecommitExtent releases the physical pages of a live large allocation via
+// the extent hooks, leaving the allocation itself live. MineSweeper uses it
+// to unmap large quarantined allocations (§4.2); the extent is recommitted by
+// the hooks when the arena eventually reuses it.
+func (h *Heap) DecommitExtent(base uint64) error {
+	e := h.arena.pm.lookup(base)
+	if e == nil || !e.largeAlloc || e.base != base {
+		return fmt.Errorf("%w: %#x is not a live large allocation", alloc.ErrInvalidFree, base)
+	}
+	h.arena.mu.Lock()
+	defer h.arena.mu.Unlock()
+	if !e.committed {
+		return nil
+	}
+	if err := h.cfg.Hooks.Decommit(h.space, e.base, e.size); err != nil {
+		return err
+	}
+	e.committed = false
+	return nil
+}
+
+// Tick implements alloc.Allocator (decay purging).
+func (h *Heap) Tick(now uint64) { h.arena.Tick(now) }
+
+// PurgeAll decommits all dirty extents now. MineSweeper calls this from the
+// sweeper thread after each sweep (§4.5).
+func (h *Heap) PurgeAll() { h.arena.PurgeAll() }
+
+// AllocatedBytes returns live usable bytes (the quarantine threshold's
+// denominator component).
+func (h *Heap) AllocatedBytes() uint64 { return uint64(h.allocated.Load()) }
+
+// Stats implements alloc.Allocator.
+func (h *Heap) Stats() alloc.Stats {
+	dirtyBytes, ndirty := h.arena.dirtyStats()
+	_ = dirtyBytes
+	return alloc.Stats{
+		Allocated: uint64(h.allocated.Load()),
+		Active:    uint64(h.slabBytes.Load() + h.largeLive.Load()),
+		MetaBytes: h.arena.pm.footprint() + uint64(ndirty)*128,
+		Mallocs:   h.mallocs.Load(),
+		Frees:     h.frees.Load(),
+		Purges:    h.arena.purges.Load(),
+	}
+}
+
+// Shutdown implements alloc.Allocator. The baseline has no background
+// machinery.
+func (h *Heap) Shutdown() {}

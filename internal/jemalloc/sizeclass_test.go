@@ -1,0 +1,72 @@
+package jemalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minesweeper/internal/mem"
+)
+
+func TestLargeAllocSize(t *testing.T) {
+	cases := []struct{ req, want uint64 }{
+		{14337, 16384},                   // just past small max -> min large
+		{16384, 16384},                   // exact min large
+		{16385, 20480},                   // next class: 20K
+		{20480, 20480},                   //
+		{100 << 10, 112 << 10},           // 100K -> 112K (classes 80/96/112/128K)
+		{1 << 20, 1 << 20},               // power of two exact
+		{(1 << 20) + 1, 1<<20 + 256<<10}, // 1M+1 -> 1.25M
+	}
+	for _, c := range cases {
+		if got := LargeAllocSize(c.req); got != c.want {
+			t.Errorf("LargeAllocSize(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+}
+
+// Properties of large size classes: page-multiple, >= request, and with
+// bounded internal fragmentation (<= 25% + one page).
+func TestQuickLargeAllocSize(t *testing.T) {
+	f := func(req uint32) bool {
+		r := uint64(req)
+		if r <= SmallMax {
+			r += SmallMax + 1
+		}
+		got := LargeAllocSize(r)
+		if got < r {
+			return false
+		}
+		if got%mem.PageSize != 0 {
+			return false
+		}
+		waste := got - r
+		return float64(waste) <= 0.25*float64(r)+mem.PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeClassesAreMonotone(t *testing.T) {
+	prev := uint64(0)
+	for req := uint64(SmallMax + 1); req < 1<<22; req += 997 {
+		got := LargeAllocSize(req)
+		if got < prev {
+			t.Fatalf("LargeAllocSize not monotone at %d: %d < %d", req, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLargeClassCountBounded(t *testing.T) {
+	// Quantisation must keep the number of distinct classes small enough
+	// for effective extent reuse: 4 per doubling.
+	classes := map[uint64]bool{}
+	for req := uint64(SmallMax + 1); req <= 1<<24; req += 4096 {
+		classes[LargeAllocSize(req)] = true
+	}
+	// 14K..16M is ~10 doublings -> expect ~40 classes, certainly < 64.
+	if len(classes) > 64 {
+		t.Errorf("%d large classes between 14KiB and 16MiB; quantisation broken", len(classes))
+	}
+}

@@ -1,0 +1,92 @@
+package jemalloc
+
+// tcache is a per-thread cache of free regions, one stack per small class,
+// mirroring jemalloc's tcache: most mallocs and frees touch only thread-local
+// state, visiting the shared bin in batches.
+type tcache struct {
+	bins []tbin
+}
+
+type tbin struct {
+	items []uint64
+	max   int
+}
+
+// tcacheCap returns the cache capacity for a class: more slots for small
+// objects, fewer for big ones (as in jemalloc).
+func tcacheCap(class int) int {
+	switch size := ClassSize(class); {
+	case size <= 256:
+		return 32
+	case size <= 2048:
+		return 16
+	default:
+		return 8
+	}
+}
+
+func newTcache() *tcache {
+	tc := &tcache{bins: make([]tbin, NumClasses())}
+	for c := range tc.bins {
+		m := tcacheCap(c)
+		tc.bins[c] = tbin{items: make([]uint64, 0, m), max: m}
+	}
+	return tc
+}
+
+// pop returns a cached region of the class, or 0 if the cache is empty.
+func (tc *tcache) pop(class int) uint64 {
+	tb := &tc.bins[class]
+	if n := len(tb.items); n > 0 {
+		v := tb.items[n-1]
+		tb.items = tb.items[:n-1]
+		return v
+	}
+	return 0
+}
+
+// push caches a freed region, reporting whether the cache is now at capacity
+// (the caller should flush).
+func (tc *tcache) push(class int, addr uint64) bool {
+	tb := &tc.bins[class]
+	tb.items = append(tb.items, addr)
+	return len(tb.items) >= tb.max
+}
+
+// contains reports whether addr is sitting in the cache for class — the
+// detectable-double-free check.
+func (tc *tcache) contains(class int, addr uint64) bool {
+	for _, v := range tc.bins[class].items {
+		if v == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// drainHalf removes the oldest half of the class's cached items and returns
+// them for flushing to the shared bin.
+func (tc *tcache) drainHalf(class int) []uint64 {
+	tb := &tc.bins[class]
+	n := len(tb.items) / 2
+	if n == 0 {
+		n = len(tb.items)
+	}
+	out := make([]uint64, n)
+	copy(out, tb.items[:n])
+	tb.items = append(tb.items[:0], tb.items[n:]...)
+	return out
+}
+
+// drainAll removes and returns every cached item of the class.
+func (tc *tcache) drainAll(class int) []uint64 {
+	tb := &tc.bins[class]
+	out := make([]uint64, len(tb.items))
+	copy(out, tb.items)
+	tb.items = tb.items[:0]
+	return out
+}
+
+// fillTarget returns how many regions a fill should request: half capacity,
+// like jemalloc's fill count.
+func (tc *tcache) fillTarget(class int) int { return tc.bins[class].max / 2 }

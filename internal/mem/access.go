@@ -1,0 +1,80 @@
+package mem
+
+// Byte- and bulk-granularity accessors. The simulated machine stores words;
+// these helpers emulate narrower and wider accesses on top of the atomic
+// word primitives so workloads can model realistic payloads (strings,
+// headers) without weakening the substrate's race-freedom story: sub-word
+// stores are read-modify-write on the containing word and are safe only from
+// the thread owning the memory, exactly like real non-atomic byte stores.
+
+// Load8 reads the byte at addr.
+func (as *AddressSpace) Load8(addr uint64) (byte, error) {
+	word, err := as.Load64(addr &^ 7)
+	if err != nil {
+		return 0, err
+	}
+	return byte(word >> ((addr & 7) * 8)), nil
+}
+
+// Store8 writes the byte at addr via a read-modify-write of its word.
+func (as *AddressSpace) Store8(addr uint64, v byte) error {
+	base := addr &^ 7
+	word, err := as.Load64(base)
+	if err != nil {
+		return err
+	}
+	shift := (addr & 7) * 8
+	word = word&^(0xFF<<shift) | uint64(v)<<shift
+	return as.Store64(base, word)
+}
+
+// LoadBytes reads n bytes starting at addr into a new slice.
+func (as *AddressSpace) LoadBytes(addr, n uint64) ([]byte, error) {
+	out := make([]byte, n)
+	for i := uint64(0); i < n; i++ {
+		b, err := as.Load8(addr + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// StoreBytes writes p starting at addr.
+func (as *AddressSpace) StoreBytes(addr uint64, p []byte) error {
+	for i, b := range p {
+		if err := as.Store8(addr+uint64(i), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Memcpy copies n bytes from src to dst (non-overlapping semantics are the
+// caller's responsibility, as with C memcpy).
+func (as *AddressSpace) Memcpy(dst, src, n uint64) error {
+	// Word-aligned fast path.
+	if dst&7 == 0 && src&7 == 0 && n&7 == 0 {
+		for off := uint64(0); off < n; off += WordSize {
+			v, err := as.Load64(src + off)
+			if err != nil {
+				return err
+			}
+			if err := as.Store64(dst+off, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for off := uint64(0); off < n; off++ {
+		b, err := as.Load8(src + off)
+		if err != nil {
+			return err
+		}
+		if err := as.Store8(dst+off, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func accessSpace(t testing.TB) (*AddressSpace, uint64) {
+	t.Helper()
+	as := NewAddressSpace()
+	r, err := as.Map(KindHeap, 4*PageSize, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, r.Base()
+}
+
+func TestLoadStore8(t *testing.T) {
+	as, base := accessSpace(t)
+	for i := uint64(0); i < 16; i++ {
+		if err := as.Store8(base+i, byte(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 16; i++ {
+		b, err := as.Load8(base + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != byte(i)+1 {
+			t.Errorf("byte %d = %d, want %d", i, b, i+1)
+		}
+	}
+	// Byte stores must not clobber neighbours in the same word.
+	if err := as.Store64(base+64, 0x1111111111111111); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Store8(base+64+3, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := as.Load64(base + 64)
+	if v != 0x11111111FF111111 {
+		t.Errorf("word after byte store = %#x", v)
+	}
+}
+
+func TestStoreLoadBytes(t *testing.T) {
+	as, base := accessSpace(t)
+	msg := []byte("GET /index.html HTTP/1.1\r\n")
+	if err := as.StoreBytes(base+5, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.LoadBytes(base+5, uint64(len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("LoadBytes = %q, want %q", got, msg)
+	}
+}
+
+func TestMemcpyAligned(t *testing.T) {
+	as, base := accessSpace(t)
+	src, dst := base, base+PageSize
+	for i := uint64(0); i < 32; i++ {
+		_ = as.Store8(src+i, byte(i)*3)
+	}
+	if err := as.Memcpy(dst, src, 32); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := as.LoadBytes(dst, 32)
+	want, _ := as.LoadBytes(src, 32)
+	if !bytes.Equal(got, want) {
+		t.Error("aligned Memcpy mismatch")
+	}
+}
+
+func TestMemcpyUnaligned(t *testing.T) {
+	as, base := accessSpace(t)
+	src, dst := base+3, base+PageSize+5
+	payload := []byte("unaligned copy payload!")
+	if err := as.StoreBytes(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Memcpy(dst, src, uint64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := as.LoadBytes(dst, uint64(len(payload)))
+	if !bytes.Equal(got, payload) {
+		t.Errorf("unaligned Memcpy = %q", got)
+	}
+}
+
+func TestByteAccessFaults(t *testing.T) {
+	as, base := accessSpace(t)
+	if err := as.Decommit(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Load8(base + 3); err == nil {
+		t.Error("Load8 of decommitted page succeeded")
+	}
+	if err := as.Store8(base+3, 1); err == nil {
+		t.Error("Store8 of decommitted page succeeded")
+	}
+}
+
+// Property: StoreBytes then LoadBytes round-trips arbitrary payloads at
+// arbitrary in-bounds offsets.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	as, base := accessSpace(t)
+	f := func(off uint16, payload []byte) bool {
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		addr := base + uint64(off)%PageSize
+		if err := as.StoreBytes(addr, payload); err != nil {
+			return false
+		}
+		got, err := as.LoadBytes(addr, uint64(len(payload)))
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

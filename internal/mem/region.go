@@ -1,0 +1,395 @@
+package mem
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Per-page state bits, packed into an atomic uint32 per page.
+const (
+	pageResident uint32 = 1 << 0 // physical backing is committed
+	pageRead     uint32 = 1 << 1 // loads permitted
+	pageWrite    uint32 = 1 << 2 // stores permitted
+	pageDirty    uint32 = 1 << 3 // soft-dirty: written since last ClearSoftDirty
+	pageBusy     uint32 = 1 << 4 // page lock: bulk zeroing or scanning in progress
+)
+
+func protBits(p Prot) uint32 {
+	var b uint32
+	if p&ProtRead != 0 {
+		b |= pageRead
+	}
+	if p&ProtWrite != 0 {
+		b |= pageWrite
+	}
+	return b
+}
+
+// Region is a contiguous mapping in the simulated address space, the analogue
+// of one mmap'd range. Allocators map one region per extent or pool; mutator
+// stacks and the globals segment are regions too.
+//
+// Word data is stored in a []uint64 and accessed atomically, so a concurrent
+// sweeper reading every word of the region is race-free with respect to
+// mutator stores — the simulated counterpart of the paper's concurrent sweep
+// of live process memory.
+type Region struct {
+	space *AddressSpace
+	base  uint64
+	size  uint64 // bytes; always page-aligned
+	kind  Kind
+
+	// words is the physical backing (len == size/WordSize). It is dropped
+	// when every page of the region is decommitted — the simulated
+	// equivalent of the OS actually releasing physical frames — so that
+	// unmapped quarantined extents and purged dirty extents cost no host
+	// memory, just as they cost no physical memory in the real system.
+	// Accessors load the pointer once; a stale slice held across a
+	// concurrent drop reads the old (zeroed) frames, like a TLB straggler.
+	words    atomic.Pointer[[]uint64]
+	resident atomic.Int32    // number of resident pages
+	pages    []atomic.Uint32 // per-page state bits
+
+	// Aliases: an alias region exposes a window of another region's
+	// physical backing under its own virtual addresses and protections —
+	// the mremap-style virtual aliasing Oscar builds on (paper §6.3).
+	// Aliases contribute no RSS of their own; the parent's frames are the
+	// physical memory.
+	parent    *Region
+	parentOff uint64 // byte offset of the alias window within parent
+}
+
+// IsAlias reports whether the region is a virtual alias of another region's
+// physical memory.
+func (r *Region) IsAlias() bool { return r.parent != nil }
+
+// Parent returns the aliased region (nil for ordinary regions).
+func (r *Region) Parent() *Region { return r.parent }
+
+// Base returns the region's first virtual address.
+func (r *Region) Base() uint64 { return r.base }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() uint64 { return r.size }
+
+// End returns one past the region's last byte.
+func (r *Region) End() uint64 { return r.base + r.size }
+
+// Kind returns what the region is used for.
+func (r *Region) Kind() Kind { return r.kind }
+
+// PageCount returns the number of pages in the region.
+func (r *Region) PageCount() int { return len(r.pages) }
+
+// Contains reports whether addr lies inside the region.
+func (r *Region) Contains(addr uint64) bool { return addr >= r.base && addr < r.base+r.size }
+
+// pageIndexOf returns the index of the page containing addr, which must lie
+// within the region.
+func (r *Region) pageIndexOf(addr uint64) int { return int((addr - r.base) >> PageShift) }
+
+// PageIndex returns the index of the page containing addr, which must lie
+// within the region.
+func (r *Region) PageIndex(addr uint64) int { return r.pageIndexOf(addr) }
+
+// PageResident reports whether page i has committed physical backing.
+func (r *Region) PageResident(i int) bool { return r.pages[i].Load()&pageResident != 0 }
+
+// PageReadable reports whether page i is resident and permits loads. This is
+// the sweeper's filter: only readable resident pages are swept.
+func (r *Region) PageReadable(i int) bool {
+	s := r.pages[i].Load()
+	return s&(pageResident|pageRead) == pageResident|pageRead
+}
+
+// PageDirty reports whether page i has been written since the last
+// ClearSoftDirty, the analogue of the Linux soft-dirty PTE bit the paper uses
+// for its mostly-concurrent mode.
+func (r *Region) PageDirty(i int) bool { return r.pages[i].Load()&pageDirty != 0 }
+
+// PageAddr returns the virtual address of page i.
+func (r *Region) PageAddr(i int) uint64 { return r.base + uint64(i)<<PageShift }
+
+// WordCount returns the number of 64-bit words in the region.
+func (r *Region) WordCount() int { return int(r.size / WordSize) }
+
+// wordSlice returns the current backing, or nil when fully decommitted.
+// Aliases resolve through their parent's backing.
+func (r *Region) wordSlice() []uint64 {
+	if r.parent != nil {
+		w := r.parent.wordSlice()
+		if w == nil {
+			return nil
+		}
+		off := r.parentOff / WordSize
+		return w[off : off+r.size/WordSize]
+	}
+	p := r.words.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// ensureBacking installs zeroed backing if none is present, returning the
+// current backing. Aliases never own backing; they borrow the parent's.
+func (r *Region) ensureBacking() []uint64 {
+	if r.parent != nil {
+		return r.wordSlice()
+	}
+	if w := r.wordSlice(); w != nil {
+		return w
+	}
+	fresh := r.space.getBacking(int(r.size / WordSize))
+	if r.words.CompareAndSwap(nil, &fresh) {
+		return fresh
+	}
+	r.space.putBacking(fresh)
+	return r.wordSlice()
+}
+
+// WordAt atomically loads word index i without access checks. It is the
+// sweeper's read primitive; callers must have checked PageReadable for the
+// containing page.
+func (r *Region) WordAt(i int) uint64 {
+	w := r.wordSlice()
+	if w == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&w[i])
+}
+
+// Load64 performs a checked, atomic load of the word at addr, which must lie
+// within the region. It is the fast path for callers (mutator threads) that
+// cache the region of their last access.
+func (r *Region) Load64(addr uint64) (uint64, error) {
+	v, err := r.load(addr)
+	if err != nil {
+		r.space.faults.Add(1)
+	}
+	return v, err
+}
+
+// Store64 performs a checked, atomic store at addr, which must lie within
+// the region; the region-cache counterpart of AddressSpace.Store64.
+func (r *Region) Store64(addr, v uint64) error {
+	err := r.store(addr, v)
+	if err != nil {
+		r.space.faults.Add(1)
+	}
+	return err
+}
+
+// load atomically loads the word at addr after checking protections.
+func (r *Region) load(addr uint64) (uint64, error) {
+	if !WordAligned(addr) {
+		return 0, &Fault{Addr: addr, Cause: CauseMisaligned}
+	}
+	s := r.pages[r.pageIndexOf(addr)].Load()
+	if s&pageResident == 0 {
+		return 0, &Fault{Addr: addr, Cause: CauseNotResident}
+	}
+	if s&pageRead == 0 {
+		return 0, &Fault{Addr: addr, Cause: CauseProtection}
+	}
+	w := r.wordSlice()
+	if w == nil {
+		return 0, &Fault{Addr: addr, Cause: CauseNotResident}
+	}
+	return atomic.LoadUint64(&w[(addr-r.base)>>3]), nil
+}
+
+// store atomically stores v at addr after checking protections, setting the
+// page's soft-dirty bit.
+func (r *Region) store(addr, v uint64) error {
+	if !WordAligned(addr) {
+		return &Fault{Addr: addr, Write: true, Cause: CauseMisaligned}
+	}
+	pi := r.pageIndexOf(addr)
+	s := r.pages[pi].Load()
+	if s&pageResident == 0 {
+		return &Fault{Addr: addr, Write: true, Cause: CauseNotResident}
+	}
+	if s&pageWrite == 0 {
+		return &Fault{Addr: addr, Write: true, Cause: CauseProtection}
+	}
+	if s&pageDirty == 0 {
+		r.pages[pi].Or(pageDirty)
+	}
+	w := r.wordSlice()
+	if w == nil {
+		return &Fault{Addr: addr, Write: true, Cause: CauseNotResident}
+	}
+	atomic.StoreUint64(&w[(addr-r.base)>>3], v)
+	return nil
+}
+
+// LockPage acquires page i's busy bit. It orders bulk plain-memory
+// operations (zeroing) against bulk readers (sweeps, marking): both sides
+// hold the lock for their page-granular critical section, so zeroing can run
+// at memset speed with plain stores while remaining race-free with scanners.
+// Mutator word accesses stay lock-free: they are per-word atomic, which is
+// race-free against the scanners' atomic reads, and a correct program never
+// touches memory that is being zeroed (it was freed).
+func (r *Region) LockPage(i int) {
+	spins := 0
+	for {
+		old := r.pages[i].Load()
+		if old&pageBusy == 0 && r.pages[i].CompareAndSwap(old, old|pageBusy) {
+			return
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// UnlockPage releases page i's busy bit.
+func (r *Region) UnlockPage(i int) {
+	for {
+		old := r.pages[i].Load()
+		if r.pages[i].CompareAndSwap(old, old&^pageBusy) {
+			return
+		}
+	}
+}
+
+// zeroRange zeroes [addr, addr+n) without protection checks. It is used by
+// the allocator layers (zero-on-free, commit/decommit fill) which operate on
+// memory they own regardless of current protections. addr and n must be
+// word-aligned. Each page segment is cleared with plain stores under the
+// page lock (see LockPage) — the simulated memset.
+func (r *Region) zeroRange(addr, n uint64) {
+	for n > 0 {
+		pi := r.pageIndexOf(addr)
+		segEnd := r.PageAddr(pi) + PageSize
+		if segEnd > addr+n {
+			segEnd = addr + n
+		}
+		ws := (addr - r.base) >> 3
+		we := (segEnd - r.base) >> 3
+		r.LockPage(pi)
+		if w := r.wordSlice(); w != nil {
+			clear(w[ws:we])
+		}
+		r.UnlockPage(pi)
+		n -= segEnd - addr
+		addr = segEnd
+	}
+}
+
+// ScanRange calls fn for every word of [addr, addr+n) that lies on a
+// readable resident page, taking the page lock per page segment. It is the
+// safe bulk-read primitive for markers that walk object contents (MarkUs).
+func (r *Region) ScanRange(addr, n uint64, fn func(v uint64)) {
+	for n > 0 {
+		pi := r.pageIndexOf(addr)
+		segEnd := r.PageAddr(pi) + PageSize
+		if segEnd > addr+n {
+			segEnd = addr + n
+		}
+		if r.PageReadable(pi) {
+			ws := (addr - r.base) >> 3
+			we := (segEnd - r.base) >> 3
+			r.LockPage(pi)
+			if w := r.wordSlice(); w != nil {
+				for i := ws; i < we; i++ {
+					fn(atomic.LoadUint64(&w[i]))
+				}
+			}
+			r.UnlockPage(pi)
+		}
+		n -= segEnd - addr
+		addr = segEnd
+	}
+}
+
+// commit marks pages [addr, addr+n) resident with protection prot, zeroing
+// their contents (fresh pages from the OS are zero-filled). Returns the
+// number of pages that transitioned from non-resident to resident.
+func (r *Region) commit(addr, n uint64, prot Prot) int {
+	r.ensureBacking()
+	first := r.pageIndexOf(addr)
+	last := r.pageIndexOf(addr + n - 1)
+	newly := 0
+	bits := pageResident | protBits(prot)
+	for i := first; i <= last; i++ {
+		var old uint32
+		for {
+			old = r.pages[i].Load()
+			if r.pages[i].CompareAndSwap(old, old&pageBusy|bits) {
+				break
+			}
+		}
+		if old&pageResident == 0 {
+			newly++
+			if r.parent == nil {
+				r.zeroRange(r.PageAddr(i), PageSize)
+			}
+		}
+	}
+	r.resident.Add(int32(newly))
+	return newly
+}
+
+// decommit releases the physical backing of pages [addr, addr+n). Contents
+// are not touched — like madvise(DONTNEED), the frames simply cease to exist;
+// commit zero-fills on re-residency, so a decommitted-then-recommitted page
+// still reads as zero. When the whole region goes non-resident its backing is
+// dropped to the pool. Returns the number of pages that were resident.
+func (r *Region) decommit(addr, n uint64) int {
+	first := r.pageIndexOf(addr)
+	last := r.pageIndexOf(addr + n - 1)
+	released := 0
+	for i := first; i <= last; i++ {
+		var old uint32
+		for {
+			old = r.pages[i].Load()
+			if r.pages[i].CompareAndSwap(old, old&pageBusy) {
+				break
+			}
+		}
+		if old&pageResident != 0 {
+			released++
+		}
+	}
+	if released > 0 && r.resident.Add(int32(-released)) == 0 && r.parent == nil {
+		if old := r.words.Swap(nil); old != nil {
+			r.space.putBacking(*old)
+		}
+	}
+	return released
+}
+
+// protect changes the protection of pages [addr, addr+n) without touching
+// residency or contents.
+func (r *Region) protect(addr, n uint64, prot Prot) {
+	first := r.pageIndexOf(addr)
+	last := r.pageIndexOf(addr + n - 1)
+	bits := protBits(prot)
+	for i := first; i <= last; i++ {
+		for {
+			old := r.pages[i].Load()
+			nw := old&^(pageRead|pageWrite) | bits
+			if r.pages[i].CompareAndSwap(old, nw) {
+				break
+			}
+		}
+	}
+}
+
+// clearSoftDirty clears every page's soft-dirty bit.
+func (r *Region) clearSoftDirty() {
+	for i := range r.pages {
+		for {
+			old := r.pages[i].Load()
+			if old&pageDirty == 0 {
+				break
+			}
+			if r.pages[i].CompareAndSwap(old, old&^pageDirty) {
+				break
+			}
+		}
+	}
+}

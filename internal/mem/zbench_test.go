@@ -1,0 +1,12 @@
+package mem
+
+import "testing"
+
+func BenchmarkZero4KiB(b *testing.B) {
+	as := NewAddressSpace()
+	r, _ := as.Map(KindHeap, 16*PageSize, true)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		_ = as.Zero(r.Base(), 4096)
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+// Reference numbers from the MineSweeper paper (Erdős, Ainsworth & Jones,
+// ASPLOS 2022), used two ways:
+//
+//   - EXPERIMENTS.md records paper-vs-measured for every figure;
+//   - Figures 7 and 10 include literature-only comparators (Oscar, DangSan,
+//     pSweeper, CRCount) that the paper itself reports from the respective
+//     publications rather than re-running; we reproduce them the same way.
+//
+// Values stated in the paper's text are exact; per-benchmark values that
+// appear only as chart bars are approximate chart readings, marked below.
+
+// PaperHeadline holds the exact headline numbers from the paper's text.
+var PaperHeadline = struct {
+	MSSlowdown, MSMemory                    float64 // §1, §5.2 (fully concurrent)
+	MSMostlySlowdown, MSMostlyMemory        float64 // §5.3
+	MSPeakMemory                            float64 // §5.2
+	MSCPUUtil, MSCPUUtilWorst               float64 // §5.2
+	MSWorstSlowdown                         float64 // xalancbmk, §5.2
+	MarkUsSlowdown, MarkUsMemory            float64 // §5.2
+	MarkUsWorstSlowdown                     float64 // §5.2
+	FFSlowdown, FFMemory, FFWorstMemory     float64 // §5.2
+	Spec17MS, Spec17MSMem                   float64 // §5.6
+	Spec17FF, Spec17FFMem                   float64 // §5.6
+	Spec17MarkUs, Spec17MarkUsMem           float64 // §5.6
+	StressMS, StressMSMem                   float64 // §5.7
+	StressMSWorst, StressMSMemWorst         float64 // §5.7
+	StressMarkUs, StressMarkUsMem           float64 // §5.7
+	StressMarkUsWorst                       float64 // §5.7
+	StressFF, StressFFMem, StressFFMemWorst float64 // §5.7
+	ScudoOverhead                           float64 // §7
+	UnoptPlusUnmapTime, UnoptPlusUnmapMem   float64 // §5.4 sequential version
+	ConcTime, ConcMem                       float64 // §5.4 after concurrency
+	SweepsOmnetpp, SweepsXalancbmk          int     // §5.2 / Figure 14
+}{
+	MSSlowdown: 1.054, MSMemory: 1.111,
+	MSMostlySlowdown: 1.082, MSMostlyMemory: 1.117,
+	MSPeakMemory: 1.177,
+	MSCPUUtil:    1.096, MSCPUUtilWorst: 2.29,
+	MSWorstSlowdown: 1.727,
+	MarkUsSlowdown:  1.155, MarkUsMemory: 1.123,
+	MarkUsWorstSlowdown: 2.97,
+	FFSlowdown:          1.035, FFMemory: 3.44, FFWorstMemory: 11.70,
+	Spec17MS: 1.108, Spec17MSMem: 1.079,
+	Spec17FF: 1.053, Spec17FFMem: 1.222,
+	Spec17MarkUs: 1.163, Spec17MarkUsMem: 1.126,
+	StressMS: 2.7, StressMSMem: 4.0,
+	StressMSWorst: 31, StressMSMemWorst: 27,
+	StressMarkUs: 6.7, StressMarkUsMem: 1.7,
+	StressMarkUsWorst: 121,
+	StressFF:          2.16, StressFFMem: 7.2, StressFFMemWorst: 97,
+	ScudoOverhead:      1.044,
+	UnoptPlusUnmapTime: 1.095, UnoptPlusUnmapMem: 1.211,
+	ConcTime: 1.050, ConcMem: 1.241,
+	SweepsOmnetpp: 1075, SweepsXalancbmk: 654,
+}
+
+// PaperSpec2006 holds per-benchmark slowdowns and average memory overheads
+// for the three reimplemented schemes on SPEC CPU2006. Values stated in the
+// paper's text are exact; the rest are approximate readings of Figures 9-10
+// (good to ~±0.02).
+type PaperBench struct {
+	MSTime, MSMem         float64
+	MarkUsTime, MarkUsMem float64
+	FFTime, FFMem         float64
+}
+
+// PaperSpec2006 is keyed by SPEC CPU2006 benchmark name.
+var PaperSpec2006 = map[string]PaperBench{
+	"astar":      {1.02, 1.05, 1.07, 1.07, 1.01, 1.30},
+	"bzip2":      {1.01, 1.01, 1.02, 1.02, 1.00, 1.02},
+	"dealII":     {1.04, 1.15, 1.18, 1.15, 1.02, 1.60},
+	"gcc":        {1.17, 1.63, 1.35, 1.45, 1.05, 5.60}, // gcc FF mem ~5.6x (fig10)
+	"gobmk":      {1.01, 1.02, 1.04, 1.03, 1.00, 1.05},
+	"h264ref":    {1.01, 1.01, 1.02, 1.02, 1.00, 1.04},
+	"hmmer":      {1.00, 1.01, 1.01, 1.02, 1.00, 1.03},
+	"lbm":        {1.00, 1.00, 1.00, 1.01, 1.00, 1.01},
+	"libquantum": {1.00, 1.01, 1.01, 1.01, 1.00, 1.02},
+	"mcf":        {1.01, 1.02, 1.05, 1.04, 1.00, 1.10},
+	"milc":       {1.02, 1.10, 1.08, 1.12, 1.01, 1.45},
+	"namd":       {1.00, 1.01, 1.01, 1.01, 1.00, 1.02},
+	"omnetpp":    {1.06, 1.20, 1.45, 1.25, 1.03, 10.10}, // FF mem ~10.1x (fig10)
+	"perlbench":  {1.10, 1.25, 1.40, 1.30, 1.04, 10.70}, // FF mem ~10.7x (fig10)
+	"povray":     {1.01, 1.02, 1.10, 1.03, 1.00, 1.05},
+	"sjeng":      {1.00, 1.01, 1.01, 1.01, 1.00, 1.02},
+	"soplex":     {1.02, 1.08, 1.06, 1.09, 1.01, 1.40},
+	"sphinx3":    {1.05, 1.15, 1.25, 1.18, 1.02, 2.90},
+	"xalancbmk":  {1.73, 1.35, 2.97, 1.40, 1.10, 2.50},
+}
+
+// PaperLiterature holds the geometric-mean overheads of the schemes the
+// paper compares against using their published numbers (Figures 7 and 10).
+// Per-benchmark values exist only as chart bars; geomeans are the robust
+// comparison points.
+var PaperLiterature = []struct {
+	Scheme   string
+	Slowdown float64
+	Memory   float64
+	Note     string
+}{
+	{"Oscar", 1.40, 1.30, "page-permission aliasing; worst cases >4x time"},
+	{"DangSan", 1.41, 2.40, "pointer-tracking log; worst cases >7x time, 135x mem"},
+	{"pSweeper-1s", 1.27, 1.40, "concurrent pointer nullification, 1s sweeps"},
+	{"CRCount", 1.22, 1.18, "reference counting via compiler support"},
+	{"MarkUs", 1.155, 1.123, "re-run in the paper; see PaperSpec2006"},
+	{"FFMalloc", 1.035, 3.44, "re-run in the paper; see PaperSpec2006"},
+	{"MineSweeper", 1.054, 1.111, "the paper's contribution"},
+}
+
+// CVEYear is one year of use-after-free vulnerability counts (Figure 1),
+// transcribed from the paper's NVD-derived chart.
+type CVEYear struct {
+	Year       int
+	Total      int     // UAF/double-free CVEs reported
+	Proportion float64 // share of all reported vulnerabilities
+}
+
+// PaperCVETrends approximates Figure 1a (NVD CWE-415/416 by year).
+var PaperCVETrends = []CVEYear{
+	{2012, 160, 0.030}, {2013, 230, 0.031}, {2014, 250, 0.026},
+	{2015, 310, 0.032}, {2016, 340, 0.031}, {2017, 375, 0.024},
+	{2018, 390, 0.023}, {2019, 550, 0.031},
+}
+
+// PaperCVELinux approximates Figure 1b (Linux-kernel UAF CVEs by year).
+var PaperCVELinux = []CVEYear{
+	{2016, 12, 0.055}, {2017, 21, 0.046}, {2018, 15, 0.085}, {2019, 26, 0.090},
+}

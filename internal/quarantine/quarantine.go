@@ -1,0 +1,276 @@
+// Package quarantine implements MineSweeper's quarantine: the set of
+// allocations the program has freed but that cannot yet be proven free of
+// dangling pointers (§3). It provides:
+//
+//   - a sharded membership set keyed by allocation base, the paper's "shadow
+//     map of entries" that de-duplicates double frees so that calls to free()
+//     while a dangling pointer exists are idempotent;
+//   - a global pending list with epoch lock-in: a sweep atomically takes the
+//     entries "already in quarantine when it starts"; anything freed during
+//     the sweep waits for the next one (§4.3);
+//   - thread-local buffers that batch pending-list appends to reduce lock
+//     contention (contribution (c) in §1.1);
+//   - byte accounting with the paper's two adjustments: failed frees are
+//     subtracted from both sides of the sweep trigger (§3.2), and unmapped
+//     allocations do not count towards the standard threshold (§4.2).
+package quarantine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Entry describes one quarantined allocation.
+type Entry struct {
+	// Base is the allocation's base address.
+	Base uint64
+	// Size is the allocation's usable size in bytes.
+	Size uint64
+	// Unmapped records that the allocation's physical pages were released
+	// while in quarantine (§4.2).
+	Unmapped bool
+	// Failed records that at least one sweep found a (possible) dangling
+	// pointer to this allocation.
+	Failed bool
+	// Epoch is the sweep epoch in which the entry was quarantined
+	// (diagnostic).
+	Epoch uint64
+}
+
+const setShards = 64
+
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]*Entry
+}
+
+// Quarantine is the global quarantine state. All methods are safe for
+// concurrent use.
+type Quarantine struct {
+	shards [setShards]shard
+	pool   sync.Pool // *Entry recycling: free() is the hot path
+
+	pendMu  sync.Mutex
+	pending []*Entry
+	epoch   atomic.Uint64
+
+	bytes         atomic.Int64 // mapped quarantined bytes (excludes unmapped)
+	unmappedBytes atomic.Int64
+	failedBytes   atomic.Int64
+	entries       atomic.Int64
+	doubleFrees   atomic.Uint64
+}
+
+// New returns an empty quarantine.
+func New() *Quarantine {
+	q := &Quarantine{}
+	for i := range q.shards {
+		q.shards[i].m = make(map[uint64]*Entry)
+	}
+	return q
+}
+
+func (q *Quarantine) shardFor(base uint64) *shard {
+	// Allocation bases are at least 8-byte aligned; mix the middle bits.
+	h := (base >> 4) * 0x9E3779B97F4A7C15
+	return &q.shards[h>>58]
+}
+
+// NewEntry returns a recycled or fresh Entry initialised for (base, size).
+// Entries flow: NewEntry -> Insert -> (sweeps) -> Release, which recycles
+// them; this keeps the hot free() path free of garbage-collector churn.
+func (q *Quarantine) NewEntry(base, size uint64) *Entry {
+	if v := q.pool.Get(); v != nil {
+		e := v.(*Entry)
+		*e = Entry{Base: base, Size: size}
+		return e
+	}
+	return &Entry{Base: base, Size: size}
+}
+
+// Insert registers a freed allocation. It returns false — and counts a
+// de-duplicated double free — if the base is already quarantined; in that
+// case Insert takes ownership of e (recycling it).
+func (q *Quarantine) Insert(e *Entry) bool {
+	s := q.shardFor(e.Base)
+	s.mu.Lock()
+	if _, dup := s.m[e.Base]; dup {
+		s.mu.Unlock()
+		q.doubleFrees.Add(1)
+		q.pool.Put(e)
+		return false
+	}
+	s.m[e.Base] = e
+	s.mu.Unlock()
+	e.Epoch = q.epoch.Load()
+	q.bytes.Add(int64(e.Size))
+	q.entries.Add(1)
+	return true
+}
+
+// Contains reports whether base is currently quarantined.
+func (q *Quarantine) Contains(base uint64) bool {
+	s := q.shardFor(base)
+	s.mu.Lock()
+	_, ok := s.m[base]
+	s.mu.Unlock()
+	return ok
+}
+
+// Append adds entries (already Inserted) to the pending list for the next
+// lock-in. It is called with thread-buffer batches.
+func (q *Quarantine) Append(batch []*Entry) {
+	if len(batch) == 0 {
+		return
+	}
+	q.pendMu.Lock()
+	q.pending = append(q.pending, batch...)
+	q.pendMu.Unlock()
+}
+
+// LockIn atomically takes the current pending list and starts a new epoch.
+// The returned entries are the sweep's candidate set; entries quarantined
+// after LockIn go to the next sweep.
+func (q *Quarantine) LockIn() []*Entry {
+	q.pendMu.Lock()
+	locked := q.pending
+	q.pending = nil
+	q.pendMu.Unlock()
+	q.epoch.Add(1)
+	return locked
+}
+
+// Requeue returns failed entries to the pending list so future sweeps retry
+// them.
+func (q *Quarantine) Requeue(failed []*Entry) { q.Append(failed) }
+
+// NoteUnmapped moves an entry's bytes from the standard quarantine account to
+// the unmapped account (§4.2: unmapped allocations "do not count towards
+// standard memory usage or quarantine-size sweep thresholds").
+func (q *Quarantine) NoteUnmapped(e *Entry) {
+	if e.Unmapped {
+		return
+	}
+	e.Unmapped = true
+	q.bytes.Add(-int64(e.Size))
+	q.unmappedBytes.Add(int64(e.Size))
+}
+
+// NoteFailed accounts an entry's first failed free (§3.2: failed frees are
+// subtracted from both sides of the trigger comparison).
+func (q *Quarantine) NoteFailed(e *Entry) {
+	if e.Failed {
+		return
+	}
+	e.Failed = true
+	q.failedBytes.Add(int64(e.Size))
+}
+
+// Release removes a released entry from the membership set and all byte
+// accounts. It must be called exactly once per entry, after the sweep has
+// proven it safe and before the underlying free.
+func (q *Quarantine) Release(e *Entry) {
+	s := q.shardFor(e.Base)
+	s.mu.Lock()
+	delete(s.m, e.Base)
+	s.mu.Unlock()
+	if e.Unmapped {
+		q.unmappedBytes.Add(-int64(e.Size))
+	} else {
+		q.bytes.Add(-int64(e.Size))
+	}
+	if e.Failed {
+		q.failedBytes.Add(-int64(e.Size))
+	}
+	q.entries.Add(-1)
+	q.pool.Put(e)
+}
+
+// Bytes returns mapped quarantined bytes (unmapped entries excluded).
+func (q *Quarantine) Bytes() uint64 { return clamp(q.bytes.Load()) }
+
+// UnmappedBytes returns bytes of quarantined allocations whose pages were
+// released.
+func (q *Quarantine) UnmappedBytes() uint64 { return clamp(q.unmappedBytes.Load()) }
+
+// FailedBytes returns bytes of entries that have failed at least one sweep.
+func (q *Quarantine) FailedBytes() uint64 { return clamp(q.failedBytes.Load()) }
+
+// Entries returns the number of quarantined allocations.
+func (q *Quarantine) Entries() uint64 { return clamp(q.entries.Load()) }
+
+// DoubleFrees returns the number of de-duplicated double frees.
+func (q *Quarantine) DoubleFrees() uint64 { return q.doubleFrees.Load() }
+
+// Epoch returns the current sweep epoch.
+func (q *Quarantine) Epoch() uint64 { return q.epoch.Load() }
+
+// ForEach calls fn for a snapshot of every quarantined entry. Entries
+// quarantined or released concurrently may or may not be visited. The
+// entries must not be mutated.
+func (q *Quarantine) ForEach(fn func(e *Entry)) {
+	for i := range q.shards {
+		s := &q.shards[i]
+		s.mu.Lock()
+		snap := make([]*Entry, 0, len(s.m))
+		for _, e := range s.m {
+			snap = append(snap, e)
+		}
+		s.mu.Unlock()
+		for _, e := range snap {
+			fn(e)
+		}
+	}
+}
+
+// MetaBytes estimates the quarantine's metadata footprint.
+func (q *Quarantine) MetaBytes() uint64 {
+	// Set entry (~24 B bucket share) + Entry struct + pending slot.
+	return clamp(q.entries.Load()) * (24 + 40 + 8)
+}
+
+func clamp(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// ThreadBuffer batches pending-list appends for one mutator thread. It is
+// not safe for concurrent use; each thread owns one.
+type ThreadBuffer struct {
+	q     *Quarantine
+	batch []*Entry
+	cap   int
+}
+
+// DefaultBufferCap is the default thread-buffer capacity.
+const DefaultBufferCap = 64
+
+// NewThreadBuffer returns a buffer that flushes to q every capN entries
+// (DefaultBufferCap if capN <= 0).
+func NewThreadBuffer(q *Quarantine, capN int) *ThreadBuffer {
+	if capN <= 0 {
+		capN = DefaultBufferCap
+	}
+	return &ThreadBuffer{q: q, batch: make([]*Entry, 0, capN), cap: capN}
+}
+
+// Push buffers an entry, flushing the batch to the global pending list when
+// the buffer fills.
+func (b *ThreadBuffer) Push(e *Entry) {
+	b.batch = append(b.batch, e)
+	if len(b.batch) >= b.cap {
+		b.Flush()
+	}
+}
+
+// Flush appends all buffered entries to the global pending list. The buffer
+// backing is reused (Append copies the pointers).
+func (b *ThreadBuffer) Flush() {
+	if len(b.batch) == 0 {
+		return
+	}
+	b.q.Append(b.batch)
+	b.batch = b.batch[:0]
+}

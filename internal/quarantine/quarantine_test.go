@@ -1,0 +1,245 @@
+package quarantine
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertRelease(t *testing.T) {
+	q := New()
+	e := &Entry{Base: 0x1000, Size: 64}
+	if !q.Insert(e) {
+		t.Fatal("Insert returned false")
+	}
+	if !q.Contains(0x1000) {
+		t.Error("Contains = false after insert")
+	}
+	if q.Bytes() != 64 || q.Entries() != 1 {
+		t.Errorf("Bytes/Entries = %d/%d, want 64/1", q.Bytes(), q.Entries())
+	}
+	q.Release(e)
+	if q.Contains(0x1000) {
+		t.Error("Contains = true after release")
+	}
+	if q.Bytes() != 0 || q.Entries() != 0 {
+		t.Errorf("Bytes/Entries = %d/%d, want 0/0", q.Bytes(), q.Entries())
+	}
+}
+
+func TestDoubleFreeDeduplicated(t *testing.T) {
+	q := New()
+	if !q.Insert(&Entry{Base: 0x2000, Size: 32}) {
+		t.Fatal("first insert failed")
+	}
+	if q.Insert(&Entry{Base: 0x2000, Size: 32}) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if q.DoubleFrees() != 1 {
+		t.Errorf("DoubleFrees = %d, want 1", q.DoubleFrees())
+	}
+	if q.Bytes() != 32 {
+		t.Errorf("Bytes = %d, want 32 (duplicate must not double-count)", q.Bytes())
+	}
+}
+
+func TestReinsertAfterRelease(t *testing.T) {
+	// Once released (truly freed), the same base can be allocated and
+	// freed again — the quarantine must accept it.
+	q := New()
+	e := &Entry{Base: 0x3000, Size: 16}
+	q.Insert(e)
+	q.Release(e)
+	if !q.Insert(&Entry{Base: 0x3000, Size: 16}) {
+		t.Error("reinsert after release failed")
+	}
+}
+
+func TestLockInEpochs(t *testing.T) {
+	q := New()
+	a := &Entry{Base: 0x1000, Size: 8}
+	b := &Entry{Base: 0x2000, Size: 8}
+	q.Insert(a)
+	q.Insert(b)
+	q.Append([]*Entry{a, b})
+
+	locked := q.LockIn()
+	if len(locked) != 2 {
+		t.Fatalf("LockIn returned %d entries, want 2", len(locked))
+	}
+	// New frees during the sweep go to the next epoch.
+	c := &Entry{Base: 0x3000, Size: 8}
+	q.Insert(c)
+	q.Append([]*Entry{c})
+	if got := q.LockIn(); len(got) != 1 || got[0] != c {
+		t.Errorf("second LockIn = %v, want [c]", got)
+	}
+	if q.Epoch() != 2 {
+		t.Errorf("Epoch = %d, want 2", q.Epoch())
+	}
+}
+
+func TestFailedAccounting(t *testing.T) {
+	q := New()
+	e := &Entry{Base: 0x1000, Size: 100}
+	q.Insert(e)
+	q.NoteFailed(e)
+	q.NoteFailed(e) // idempotent
+	if q.FailedBytes() != 100 {
+		t.Errorf("FailedBytes = %d, want 100", q.FailedBytes())
+	}
+	q.Release(e)
+	if q.FailedBytes() != 0 {
+		t.Errorf("FailedBytes after release = %d, want 0", q.FailedBytes())
+	}
+}
+
+func TestUnmappedAccounting(t *testing.T) {
+	q := New()
+	e := &Entry{Base: 0x1000, Size: 8192}
+	q.Insert(e)
+	q.NoteUnmapped(e)
+	q.NoteUnmapped(e) // idempotent
+	if q.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0 (unmapped excluded)", q.Bytes())
+	}
+	if q.UnmappedBytes() != 8192 {
+		t.Errorf("UnmappedBytes = %d, want 8192", q.UnmappedBytes())
+	}
+	q.Release(e)
+	if q.UnmappedBytes() != 0 {
+		t.Errorf("UnmappedBytes after release = %d, want 0", q.UnmappedBytes())
+	}
+}
+
+func TestThreadBufferFlushAtCap(t *testing.T) {
+	q := New()
+	tb := NewThreadBuffer(q, 4)
+	for i := 0; i < 3; i++ {
+		e := &Entry{Base: uint64(0x1000 + i*16), Size: 16}
+		q.Insert(e)
+		tb.Push(e)
+	}
+	if got := q.LockIn(); len(got) != 0 {
+		t.Fatalf("pending flushed early: %d entries", len(got))
+	}
+	e := &Entry{Base: 0x9000, Size: 16}
+	q.Insert(e)
+	tb.Push(e) // hits cap -> flush
+	if got := q.LockIn(); len(got) != 4 {
+		t.Errorf("LockIn after cap flush = %d entries, want 4", len(got))
+	}
+}
+
+func TestThreadBufferExplicitFlush(t *testing.T) {
+	q := New()
+	tb := NewThreadBuffer(q, 0) // default cap
+	e := &Entry{Base: 0x1000, Size: 16}
+	q.Insert(e)
+	tb.Push(e)
+	tb.Flush()
+	tb.Flush() // empty flush is a no-op
+	if got := q.LockIn(); len(got) != 1 {
+		t.Errorf("LockIn = %d entries, want 1", len(got))
+	}
+}
+
+func TestConcurrentInsertRelease(t *testing.T) {
+	q := New()
+	const threads = 8
+	const n = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tb := NewThreadBuffer(q, 16)
+			for i := 0; i < n; i++ {
+				e := &Entry{Base: uint64(g*n+i+1) * 16, Size: 16}
+				if !q.Insert(e) {
+					t.Errorf("Insert failed for unique base")
+					return
+				}
+				tb.Push(e)
+			}
+			tb.Flush()
+		}(g)
+	}
+	wg.Wait()
+	if q.Entries() != threads*n {
+		t.Fatalf("Entries = %d, want %d", q.Entries(), threads*n)
+	}
+	locked := q.LockIn()
+	if len(locked) != threads*n {
+		t.Fatalf("LockIn = %d, want %d", len(locked), threads*n)
+	}
+	for _, e := range locked {
+		q.Release(e)
+	}
+	if q.Entries() != 0 || q.Bytes() != 0 {
+		t.Errorf("Entries/Bytes = %d/%d after release all", q.Entries(), q.Bytes())
+	}
+}
+
+// Property: for any interleaving of insert/fail/unmap/release on distinct
+// bases, Bytes + UnmappedBytes equals the sum of live entry sizes, and
+// FailedBytes <= that sum.
+func TestQuickAccounting(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New()
+		live := make(map[uint64]*Entry)
+		next := uint64(16)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // insert
+				e := &Entry{Base: next, Size: uint64(op)*8 + 8}
+				next += 1 << 12
+				if q.Insert(e) {
+					live[e.Base] = e
+				}
+			case 1: // fail one
+				for _, e := range live {
+					q.NoteFailed(e)
+					break
+				}
+			case 2: // unmap one
+				for _, e := range live {
+					q.NoteUnmapped(e)
+					break
+				}
+			case 3: // release one
+				for b, e := range live {
+					q.Release(e)
+					delete(live, b)
+					break
+				}
+			}
+			var want, failed uint64
+			for _, e := range live {
+				want += e.Size
+				if e.Failed {
+					failed += e.Size
+				}
+			}
+			if q.Bytes()+q.UnmappedBytes() != want {
+				return false
+			}
+			if q.FailedBytes() != failed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertRelease(b *testing.B) {
+	q := New()
+	for i := 0; i < b.N; i++ {
+		e := &Entry{Base: uint64(i+1) * 16, Size: 64}
+		q.Insert(e)
+		q.Release(e)
+	}
+}

@@ -1,0 +1,63 @@
+package schemes
+
+import (
+	"testing"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+func TestAllKindsBuild(t *testing.T) {
+	kinds := []Kind{Baseline, MineSweeper, MineSweeperMostly, MarkUs, FFMalloc, Scudo, Oscar, DangSan, PSweeper, CRCount, Dlmalloc, MineSweeperDlmalloc}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			f := New(k)
+			if f.Name != k.String() {
+				t.Errorf("factory name %q != kind name %q", f.Name, k.String())
+			}
+			space := mem.NewAddressSpace()
+			world := sim.NewWorld()
+			h, err := f.Build(space, world)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			defer h.Shutdown()
+			tid := h.RegisterThread()
+			a, err := h.Malloc(tid, 128)
+			if err != nil {
+				t.Fatalf("Malloc: %v", err)
+			}
+			if err := h.Free(tid, a); err != nil {
+				t.Fatalf("Free: %v", err)
+			}
+			if h.Stats().Mallocs != 1 {
+				t.Errorf("Mallocs = %d, want 1", h.Stats().Mallocs)
+			}
+		})
+	}
+}
+
+func TestBuildWithNilWorld(t *testing.T) {
+	for _, k := range []Kind{MineSweeper, MineSweeperMostly, MarkUs} {
+		h, err := New(k).Build(mem.NewAddressSpace(), nil)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		h.Shutdown()
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+	seen := map[string]bool{}
+	for _, k := range []Kind{Baseline, MineSweeper, MineSweeperMostly, MarkUs, FFMalloc, Scudo, Oscar, DangSan, PSweeper, CRCount, Dlmalloc, MineSweeperDlmalloc} {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate scheme name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,262 @@
+// Package sim provides the simulated program that workloads run as: mutator
+// threads with stacks, a globals segment, and checked access to a heap
+// managed by any alloc.Allocator. It is the stand-in for the unmodified
+// C/C++ application binaries (SPEC, mimalloc-bench) the paper evaluates:
+// mutators store real pointer words into simulated memory, so sweeps,
+// marking and dangling-pointer detection all operate on the genuine article.
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+// Sizes of the simulated segments.
+const (
+	// GlobalsSize is the size of the globals segment.
+	GlobalsSize = 256 << 10
+	// StackSize is the size of each thread stack.
+	StackSize = 64 << 10
+	// tickEvery is how many operations pass between allocator ticks.
+	tickEvery = 4096
+)
+
+// Program is one simulated process: an address space, an allocator scheme,
+// a globals segment and any number of mutator threads.
+type Program struct {
+	space *mem.AddressSpace
+	heap  alloc.Allocator
+	world *World
+
+	globals *mem.Region
+	ops     atomic.Uint64
+	uafs    atomic.Uint64 // faulting accesses observed (prevented UAFs)
+}
+
+// NewProgram creates a program over space and heap. world may be nil when no
+// stop-the-world coordination is needed.
+func NewProgram(space *mem.AddressSpace, heap alloc.Allocator, world *World) (*Program, error) {
+	g, err := space.Map(mem.KindGlobals, GlobalsSize, true)
+	if err != nil {
+		return nil, fmt.Errorf("sim: mapping globals: %w", err)
+	}
+	return &Program{space: space, heap: heap, world: world, globals: g}, nil
+}
+
+// Space returns the program's address space.
+func (p *Program) Space() *mem.AddressSpace { return p.space }
+
+// Heap returns the program's allocator.
+func (p *Program) Heap() alloc.Allocator { return p.heap }
+
+// World returns the program's stop-the-world coordinator (may be nil).
+func (p *Program) World() *World { return p.world }
+
+// GlobalSlot returns the address of 8-byte global slot i.
+func (p *Program) GlobalSlot(i int) uint64 {
+	return p.globals.Base() + uint64(i)*mem.WordSize
+}
+
+// GlobalSlots returns how many global slots exist.
+func (p *Program) GlobalSlots() int { return GlobalsSize / mem.WordSize }
+
+// Ops returns the total operation count across all threads.
+func (p *Program) Ops() uint64 { return p.ops.Load() }
+
+// UAFAccesses returns how many memory accesses faulted — each is a
+// use-after-free the protection scheme turned into a clean fault.
+func (p *Program) UAFAccesses() uint64 { return p.uafs.Load() }
+
+// tick advances the operation counter and periodically ticks the allocator
+// (decay purging and other background housekeeping).
+func (p *Program) tick() {
+	n := p.ops.Add(1)
+	if n%tickEvery == 0 {
+		p.heap.Tick(n)
+	}
+}
+
+// Thread is one simulated mutator thread. Methods are not safe for
+// concurrent use — each goroutine owns one Thread, exactly like a real
+// thread owns its stack.
+type Thread struct {
+	prog  *Program
+	tid   alloc.ThreadID
+	stack *mem.Region
+	rng   *Rand
+	// cached is the region of the thread's last memory access — the
+	// simulated analogue of TLB/cache locality on the lookup path.
+	cached *mem.Region
+	// obs is the scheme's pointer-store instrumentation, nil for schemes
+	// without it.
+	obs alloc.PointerObserver
+}
+
+// NewThread registers a new mutator thread with a deterministic PRNG stream.
+func (p *Program) NewThread(seed uint64) (*Thread, error) {
+	stk, err := p.space.Map(mem.KindStack, StackSize, true)
+	if err != nil {
+		return nil, fmt.Errorf("sim: mapping stack: %w", err)
+	}
+	if p.world != nil {
+		p.world.Register()
+	}
+	obs, _ := p.heap.(alloc.PointerObserver)
+	return &Thread{
+		prog:  p,
+		tid:   p.heap.RegisterThread(),
+		stack: stk,
+		rng:   NewRand(seed),
+		obs:   obs,
+	}, nil
+}
+
+// Close unregisters the thread. The stack stays mapped (as a real exited
+// thread's stack may) but is no longer written.
+func (t *Thread) Close() {
+	t.prog.heap.UnregisterThread(t.tid)
+	if t.prog.world != nil {
+		t.prog.world.Unregister()
+	}
+}
+
+// Rand returns the thread's PRNG.
+func (t *Thread) Rand() *Rand { return t.rng }
+
+// ID returns the thread's allocator thread ID.
+func (t *Thread) ID() alloc.ThreadID { return t.tid }
+
+// StackSlot returns the address of 8-byte stack slot i.
+func (t *Thread) StackSlot(i int) uint64 {
+	return t.stack.Base() + uint64(i)*mem.WordSize
+}
+
+// StackSlots returns how many stack slots the thread has.
+func (t *Thread) StackSlots() int { return StackSize / mem.WordSize }
+
+// Malloc allocates size bytes.
+func (t *Thread) Malloc(size uint64) (uint64, error) {
+	t.safepoint()
+	t.prog.tick()
+	return t.prog.heap.Malloc(t.tid, size)
+}
+
+// Free frees the allocation at addr.
+func (t *Thread) Free(addr uint64) error {
+	t.safepoint()
+	t.prog.tick()
+	return t.prog.heap.Free(t.tid, addr)
+}
+
+// region resolves addr's region through the thread's one-entry cache.
+func (t *Thread) region(addr uint64) *mem.Region {
+	if r := t.cached; r != nil && r.Contains(addr) {
+		return r
+	}
+	r := t.prog.space.Lookup(addr)
+	if r != nil {
+		t.cached = r
+	}
+	return r
+}
+
+// Store writes a word. A fault (e.g. a store to an unmapped quarantined
+// page) is counted as a prevented UAF and reported. Schemes that implement
+// alloc.PointerObserver are notified of the overwritten and stored values,
+// modelling per-pointer-write compiler instrumentation.
+func (t *Thread) Store(addr, val uint64) error {
+	t.safepoint()
+	t.prog.tick()
+	r := t.region(addr)
+	if r == nil {
+		t.prog.uafs.Add(1)
+		return &mem.Fault{Addr: addr, Write: true, Cause: mem.CauseUnmapped}
+	}
+	if t.obs != nil {
+		old, lerr := r.Load64(addr)
+		err := r.Store64(addr, val)
+		if err != nil {
+			t.prog.uafs.Add(1)
+			return err
+		}
+		if lerr == nil {
+			t.obs.NoteStore(t.tid, addr, old, val)
+		}
+		return nil
+	}
+	err := r.Store64(addr, val)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return err
+}
+
+// Load reads a word; faults are counted as prevented UAFs.
+func (t *Thread) Load(addr uint64) (uint64, error) {
+	t.safepoint()
+	t.prog.tick()
+	r := t.region(addr)
+	if r == nil {
+		t.prog.uafs.Add(1)
+		return 0, &mem.Fault{Addr: addr, Cause: mem.CauseUnmapped}
+	}
+	v, err := r.Load64(addr)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return v, err
+}
+
+func (t *Thread) safepoint() {
+	if t.prog.world != nil {
+		t.prog.world.Safepoint()
+	}
+}
+
+// Store8 writes one byte (read-modify-write of the containing word; safe
+// only from the owning thread, like a real non-atomic byte store).
+func (t *Thread) Store8(addr uint64, v byte) error {
+	t.safepoint()
+	t.prog.tick()
+	err := t.prog.space.Store8(addr, v)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return err
+}
+
+// Load8 reads one byte.
+func (t *Thread) Load8(addr uint64) (byte, error) {
+	t.safepoint()
+	t.prog.tick()
+	v, err := t.prog.space.Load8(addr)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return v, err
+}
+
+// StoreBytes writes p at addr (a string/struct payload).
+func (t *Thread) StoreBytes(addr uint64, p []byte) error {
+	t.safepoint()
+	t.prog.tick()
+	err := t.prog.space.StoreBytes(addr, p)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return err
+}
+
+// LoadBytes reads n bytes at addr.
+func (t *Thread) LoadBytes(addr, n uint64) ([]byte, error) {
+	t.safepoint()
+	t.prog.tick()
+	p, err := t.prog.space.LoadBytes(addr, n)
+	if err != nil {
+		t.prog.uafs.Add(1)
+	}
+	return p, err
+}

@@ -1,0 +1,42 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (splitmix64). Every workload
+// derives its randomness from a seeded Rand so runs are reproducible; the
+// standard library's global rand is never used.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9E3779B97F4A7C15}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a value in [lo, hi]. hi must be >= lo.
+func (r *Rand) Range(lo, hi uint64) uint64 {
+	return lo + r.Uint64()%(hi-lo+1)
+}
+
+// Split derives an independent PRNG (for per-thread streams).
+func (r *Rand) Split() *Rand {
+	return NewRand(r.Uint64())
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+		if v := r.Range(5, 9); v < 5 || v > 9 {
+			t.Fatalf("Range(5,9) = %d", v)
+		}
+	}
+}
+
+func TestRandSplitIndependent(t *testing.T) {
+	r := NewRand(1)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Error("split stream mirrors parent")
+	}
+}
+
+func newProgram(t testing.TB) (*Program, *Thread) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	heap := jemalloc.New(as, jemalloc.DefaultConfig())
+	p, err := NewProgram(as, heap, NewWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := p.NewThread(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(th.Close)
+	return p, th
+}
+
+func TestThreadMallocFreeStore(t *testing.T) {
+	p, th := newProgram(t)
+	a, err := th.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(a, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	v, err := th.Load(a)
+	if err != nil || v != 0x1234 {
+		t.Fatalf("Load = %v, %v", v, err)
+	}
+	if err := th.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() == 0 {
+		t.Error("ops not counted")
+	}
+}
+
+func TestStackAndGlobalSlots(t *testing.T) {
+	p, th := newProgram(t)
+	if err := th.Store(th.StackSlot(5), 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Store(p.GlobalSlot(7), 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := th.Load(th.StackSlot(5)); v != 99 {
+		t.Errorf("stack slot = %d, want 99", v)
+	}
+	if v, _ := th.Load(p.GlobalSlot(7)); v != 42 {
+		t.Errorf("global slot = %d, want 42", v)
+	}
+	if th.StackSlots() != StackSize/8 || p.GlobalSlots() != GlobalsSize/8 {
+		t.Error("slot counts wrong")
+	}
+}
+
+func TestUAFAccessCounted(t *testing.T) {
+	p, th := newProgram(t)
+	_, err := th.Load(mem.HeapBase + 0x10) // unmapped
+	if err == nil {
+		t.Fatal("load of unmapped memory succeeded")
+	}
+	if p.UAFAccesses() != 1 {
+		t.Errorf("UAFAccesses = %d, want 1", p.UAFAccesses())
+	}
+}
+
+func TestWorldStopWaitsForSafepoint(t *testing.T) {
+	w := NewWorld()
+	w.Register()
+	stopped := make(chan struct{})
+	go func() {
+		w.Stop()
+		close(stopped)
+	}()
+	// Stop cannot complete until the mutator reaches a safepoint.
+	select {
+	case <-stopped:
+		t.Fatal("Stop returned before safepoint")
+	case <-time.After(20 * time.Millisecond):
+	}
+	resumed := make(chan struct{})
+	go func() {
+		w.Safepoint() // parks until Start
+		close(resumed)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop never returned")
+	}
+	select {
+	case <-resumed:
+		t.Fatal("mutator resumed before Start")
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Start()
+	select {
+	case <-resumed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("mutator never resumed")
+	}
+	w.Unregister()
+}
+
+func TestWorldQuiescentThreadDoesNotBlockStop(t *testing.T) {
+	w := NewWorld()
+	w.Register()
+	w.BeginQuiescent() // thread is blocked elsewhere
+	done := make(chan struct{})
+	go func() {
+		w.Stop()
+		w.Start()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop blocked on quiescent thread")
+	}
+	w.EndQuiescent()
+	w.Unregister()
+}
+
+func TestWorldManyThreads(t *testing.T) {
+	w := NewWorld()
+	const n = 8
+	var stop = make(chan struct{})
+	var wg sync.WaitGroup
+	counters := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		w.Register()
+		go func(i int) {
+			defer wg.Done()
+			defer w.Unregister()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.Safepoint()
+				counters[i]++
+			}
+		}(i)
+	}
+	for round := 0; round < 20; round++ {
+		w.Stop()
+		// While stopped, counters must not advance.
+		snap := make([]uint64, n)
+		copy(snap, counters)
+		time.Sleep(time.Millisecond)
+		for i := range counters {
+			if counters[i] != snap[i] {
+				t.Fatalf("thread %d advanced during stop", i)
+			}
+		}
+		w.Start()
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	w.Start() // in case some are parked
+	wg.Wait()
+}
+
+func TestMultipleThreads(t *testing.T) {
+	as := mem.NewAddressSpace()
+	heap := jemalloc.New(as, jemalloc.DefaultConfig())
+	p, err := NewProgram(as, heap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		th, err := p.NewThread(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			defer th.Close()
+			var live []uint64
+			for j := 0; j < 2000; j++ {
+				a, err := th.Malloc(th.Rand().Range(8, 512))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				live = append(live, a)
+				if len(live) > 32 {
+					idx := th.Rand().Intn(len(live))
+					if err := th.Free(live[idx]); err != nil {
+						t.Error(err)
+						return
+					}
+					live[idx] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			for _, a := range live {
+				_ = th.Free(a)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if heap.AllocatedBytes() != 0 {
+		t.Error("leaked allocations")
+	}
+}
+
+func TestThreadByteAccess(t *testing.T) {
+	_, th := newProgram(t)
+	a, err := th.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, simulated world")
+	if err := th.StoreBytes(a+1, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := th.LoadBytes(a+1, uint64(len(msg)))
+	if err != nil || string(got) != string(msg) {
+		t.Fatalf("LoadBytes = %q, %v", got, err)
+	}
+	if err := th.Store8(a, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	b, err := th.Load8(a)
+	if err != nil || b != 0x7F {
+		t.Fatalf("Load8 = %#x, %v", b, err)
+	}
+}

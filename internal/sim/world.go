@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// World coordinates stop-the-world pauses between mutator threads and a
+// collector/sweeper. It is the simulated analogue of the signal- or
+// soft-dirty-based world stopping the paper discusses (§4.3): mutators poll
+// Safepoint() between operations (one atomic load when no stop is pending),
+// and a sweeper's Stop() returns once every registered mutator is parked at
+// a safepoint or voluntarily quiescent (blocked in an allocation pause).
+type World struct {
+	stopFlag atomic.Bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	registered int
+	quiescent  int
+}
+
+// NewWorld returns a World with no registered threads.
+func NewWorld() *World {
+	w := &World{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Register adds the calling thread to the stop quorum. Every mutator must
+// call it before its first Safepoint and pair it with Unregister.
+func (w *World) Register() {
+	w.mu.Lock()
+	w.registered++
+	w.mu.Unlock()
+}
+
+// Unregister removes the calling thread from the stop quorum (thread exit).
+func (w *World) Unregister() {
+	w.mu.Lock()
+	w.registered--
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Safepoint parks the calling thread while a stop is pending. Mutators call
+// it between operations; the fast path is a single atomic load.
+func (w *World) Safepoint() {
+	if !w.stopFlag.Load() {
+		return
+	}
+	w.mu.Lock()
+	w.quiescent++
+	w.cond.Broadcast()
+	for w.stopFlag.Load() {
+		w.cond.Wait()
+	}
+	w.quiescent--
+	w.mu.Unlock()
+}
+
+// BeginQuiescent marks the calling thread as safe-to-ignore for stops (it is
+// about to block without touching simulated memory, e.g. in an allocation
+// pause). Pair with EndQuiescent.
+func (w *World) BeginQuiescent() {
+	w.mu.Lock()
+	w.quiescent++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// EndQuiescent re-enters mutator mode, waiting out any stop in progress.
+func (w *World) EndQuiescent() {
+	w.mu.Lock()
+	for w.stopFlag.Load() {
+		w.cond.Wait()
+	}
+	w.quiescent--
+	w.mu.Unlock()
+}
+
+// Stop implements sweep.StopTheWorld: it returns once every registered
+// thread is parked or quiescent.
+func (w *World) Stop() {
+	w.stopFlag.Store(true)
+	w.mu.Lock()
+	for w.quiescent < w.registered {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// Start implements sweep.StopTheWorld: it resumes all parked threads.
+func (w *World) Start() {
+	w.stopFlag.Store(false)
+	w.mu.Lock()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}

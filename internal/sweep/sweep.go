@@ -1,0 +1,218 @@
+// Package sweep implements MineSweeper's linear memory sweep (§3.1, §4.4):
+// a parallel scan of all program memory — heap, stacks and globals — that
+// interprets every aligned word as a potential pointer and marks the target
+// granule in the shadow map. Unlike a garbage collector's transitive marking,
+// the scan is a single linear pass; zero-on-free (performed by the core
+// layer) is what makes that sufficient.
+//
+// Work is divided among a main sweeper and a configurable number of helpers
+// (6 by default, as in the paper), each taking fixed-size page chunks from a
+// shared queue. Only resident, readable pages are scanned, so pages that
+// were purged or unmapped in quarantine are skipped (§4.2, §4.5).
+//
+// Two scan entry points support the two operation modes: MarkAll for the
+// concurrent full pass, and MarkDirty for the mostly-concurrent mode's brief
+// stop-the-world re-scan of pages written during the full pass (tracked via
+// the simulated soft-dirty page bits, standing in for Linux's soft-dirty
+// PTEs, §4.3).
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/shadow"
+)
+
+// DefaultHelpers is the paper's default helper-thread count.
+const DefaultHelpers = 6
+
+// chunkPages is the unit of work distribution: 256 pages = 1 MiB per grab.
+const chunkPages = 256
+
+// StopTheWorld pauses and resumes all mutator threads. The mostly-concurrent
+// mode uses it around the dirty re-scan; the fully concurrent mode never
+// stops the world.
+type StopTheWorld interface {
+	// Stop returns once every mutator thread is parked at a safepoint.
+	Stop()
+	// Start resumes all mutator threads.
+	Start()
+}
+
+// Sweeper scans program memory and marks potential pointer targets.
+type Sweeper struct {
+	space   *mem.AddressSpace
+	marks   *shadow.Bitmap
+	helpers int
+
+	bytesSwept atomic.Uint64
+	busyNanos  atomic.Int64 // summed worker busy time (CPU usage meter)
+}
+
+// New returns a Sweeper marking into marks with the given helper count
+// (negative means DefaultHelpers). The effective count is clamped to the
+// host's available parallelism: extra helpers on an oversubscribed host only
+// time-slice against each other (the paper sized its 6 helpers to an 8-way
+// machine).
+func New(space *mem.AddressSpace, marks *shadow.Bitmap, helpers int) *Sweeper {
+	if helpers < 0 {
+		helpers = DefaultHelpers
+	}
+	if max := runtime.GOMAXPROCS(0) - 1; helpers > max {
+		helpers = max
+	}
+	if helpers < 0 {
+		helpers = 0
+	}
+	return &Sweeper{space: space, marks: marks, helpers: helpers}
+}
+
+// Workers returns the effective sweep worker count (main + helpers).
+func (s *Sweeper) Workers() int { return s.helpers + 1 }
+
+// chunk is one unit of scanning work.
+type chunk struct {
+	r         *mem.Region
+	pageFirst int
+	pageAfter int
+	dirtyOnly bool
+}
+
+// collectChunks slices all sweepable regions into page chunks.
+func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
+	var chunks []chunk
+	for _, r := range s.space.Regions() {
+		switch r.Kind() {
+		case mem.KindHeap, mem.KindStack, mem.KindGlobals:
+		default:
+			continue
+		}
+		n := r.PageCount()
+		for p := 0; p < n; p += chunkPages {
+			end := p + chunkPages
+			if end > n {
+				end = n
+			}
+			chunks = append(chunks, chunk{r: r, pageFirst: p, pageAfter: end, dirtyOnly: dirtyOnly})
+		}
+	}
+	return chunks
+}
+
+// scanChunk marks pointer targets in one chunk, returning bytes scanned.
+func (s *Sweeper) scanChunk(c chunk) uint64 {
+	var scanned uint64
+	r := c.r
+	for p := c.pageFirst; p < c.pageAfter; p++ {
+		if !r.PageReadable(p) {
+			continue
+		}
+		if c.dirtyOnly && !r.PageDirty(p) {
+			continue
+		}
+		wordBase := p * mem.WordsPerPage
+		// The page lock orders this scan against bulk zeroing (free,
+		// decommit) so the sweeper never reads half-zeroed memory.
+		r.LockPage(p)
+		for w := 0; w < mem.WordsPerPage; w++ {
+			v := r.WordAt(wordBase + w)
+			if mem.IsHeapAddr(v) {
+				s.marks.Mark(v)
+			}
+		}
+		r.UnlockPage(p)
+		scanned += mem.PageSize
+	}
+	return scanned
+}
+
+// run executes all chunks across the main goroutine plus helpers, returning
+// total bytes scanned. Busy time is accounted as phase-elapsed time times the
+// worker parallelism actually available, so an oversubscribed host does not
+// inflate the CPU-utilisation meter with scheduler preemption.
+func (s *Sweeper) run(chunks []chunk) uint64 {
+	if len(chunks) == 0 {
+		return 0
+	}
+	var next atomic.Int64
+	var total atomic.Uint64
+	worker := func() {
+		var scanned uint64
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(chunks) {
+				break
+			}
+			scanned += s.scanChunk(chunks[i])
+		}
+		total.Add(scanned)
+	}
+	workers := s.helpers + 1
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	s.busyNanos.Add(int64(BusyShare(time.Since(start), workers)))
+	n := total.Load()
+	s.bytesSwept.Add(n)
+	return n
+}
+
+// BusyShare estimates the CPU time a background phase of the given worker
+// count actually consumed during an elapsed interval. With spare cores the
+// workers own their cores and busy = elapsed x workers. On a fully
+// oversubscribed host (GOMAXPROCS 1) the scheduler time-slices the phase
+// against the mutators, so roughly half the elapsed interval belongs to the
+// background work; counting all of it would both overstate CPU utilisation
+// (Figure 12) and over-credit the adjusted wall time.
+func BusyShare(elapsed time.Duration, workers int) time.Duration {
+	par := workers
+	if m := runtime.GOMAXPROCS(0); par > m {
+		par = m
+	}
+	busy := elapsed * time.Duration(par)
+	if runtime.GOMAXPROCS(0) <= 1 {
+		busy /= 2
+	}
+	return busy
+}
+
+// MarkAll performs the full linear pass over all sweepable memory, marking
+// every word that could be a heap pointer. It runs concurrently with
+// mutators (their stores are atomic, as are our loads) and returns the
+// number of bytes scanned.
+func (s *Sweeper) MarkAll() uint64 {
+	return s.run(s.collectChunks(false))
+}
+
+// MarkDirty re-scans only pages whose soft-dirty bit is set. The caller is
+// expected to have cleared soft-dirty bits before MarkAll and stopped the
+// world around this call (mostly-concurrent mode).
+func (s *Sweeper) MarkDirty() uint64 {
+	return s.run(s.collectChunks(true))
+}
+
+// BytesSwept returns the cumulative bytes scanned across all passes.
+func (s *Sweeper) BytesSwept() uint64 { return s.bytesSwept.Load() }
+
+// BusyTime returns cumulative worker busy time — the additional CPU usage
+// the paper reports in Figure 12.
+func (s *Sweeper) BusyTime() time.Duration { return time.Duration(s.busyNanos.Load()) }
+
+// AddBusyTime accounts extra sweeper-thread work (e.g. the recycle phase)
+// into the CPU usage meter.
+func (s *Sweeper) AddBusyTime(d time.Duration) { s.busyNanos.Add(int64(d)) }

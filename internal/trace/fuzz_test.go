@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead exercises the trace parser with arbitrary bytes: it must never
+// panic, and anything it accepts must re-serialise to an equal trace.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid trace and a few near-misses.
+	valid := &Trace{Threads: 1, Events: []Event{
+		{Kind: KindMalloc, ID: 1, Size: 64},
+		{Kind: KindFree, ID: 1},
+	}}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MSTR"))
+	f.Add([]byte("MSTR\x01\x00\x00\x00\x01\x00\x00\x00M\x00\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialise: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(tr.Events), len(back.Events))
+		}
+	})
+}

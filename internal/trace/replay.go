@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+
+	"minesweeper/internal/sim"
+)
+
+// Record synthesises a trace from a simple churn pattern — a convenience for
+// generating replayable traces without running a full workload.
+func Record(events int, liveWindow int, maxSize uint64, seed uint64) *Trace {
+	r := sim.NewRand(seed)
+	t := &Trace{Threads: 1}
+	var live []uint64
+	nextID := uint64(1)
+	for i := 0; i < events; i++ {
+		if len(live) >= liveWindow || (len(live) > 0 && r.Intn(100) < 40) {
+			idx := r.Intn(len(live))
+			t.Events = append(t.Events, Event{Kind: KindFree, ID: live[idx]})
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			t.Events = append(t.Events, Event{
+				Kind: KindMalloc, ID: nextID, Size: r.Range(8, maxSize),
+			})
+			live = append(live, nextID)
+			nextID++
+		}
+	}
+	for _, id := range live {
+		t.Events = append(t.Events, Event{Kind: KindFree, ID: id})
+	}
+	return t
+}
+
+// ReplayResult summarises one replay.
+type ReplayResult struct {
+	Mallocs, Frees uint64
+	// PeakRSS is the space's peak resident footprint observed at event
+	// granularity (coarse; for time-sampled RSS use the workload runner).
+	PeakRSS uint64
+}
+
+// Replay executes the trace against a program's allocator, using one sim
+// thread per trace thread.
+func Replay(t *Trace, prog *sim.Program) (ReplayResult, error) {
+	var res ReplayResult
+	threads := int(t.Threads)
+	if threads < 1 {
+		threads = 1
+	}
+	ths := make([]*sim.Thread, threads)
+	for i := range ths {
+		th, err := prog.NewThread(uint64(i) + 1)
+		if err != nil {
+			return res, err
+		}
+		defer th.Close()
+		ths[i] = th
+	}
+	addrs := make(map[uint64]uint64, 1024)
+	for i, e := range t.Events {
+		th := ths[int(e.Thread)%threads]
+		switch e.Kind {
+		case KindMalloc:
+			a, err := th.Malloc(e.Size)
+			if err != nil {
+				return res, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			addrs[e.ID] = a
+			res.Mallocs++
+		case KindFree:
+			a, ok := addrs[e.ID]
+			if !ok {
+				return res, fmt.Errorf("trace: event %d: free of unknown id %d", i, e.ID)
+			}
+			delete(addrs, e.ID)
+			if err := th.Free(a); err != nil {
+				return res, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			res.Frees++
+		}
+		if i%1024 == 0 {
+			if rss := prog.Space().RSS(); rss > res.PeakRSS {
+				res.PeakRSS = rss
+			}
+		}
+	}
+	if rss := prog.Space().RSS(); rss > res.PeakRSS {
+		res.PeakRSS = rss
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+// Package trace records and replays allocation traces: sequences of
+// malloc/free events with sizes and stable allocation identifiers. A trace
+// captured from any workload can be replayed against any scheme, the
+// simulated analogue of re-running a recorded application allocation profile
+// under a different LD_PRELOADed allocator (§A.7).
+//
+// The binary format is versioned and self-describing:
+//
+//	header:  magic "MSTR" | u16 version | u16 reserved | u32 thread count
+//	events:  u8 kind | uvarint thread | uvarint id | uvarint size
+//
+// where kind is 'M' (malloc) or 'F' (free); size is present only for
+// mallocs. IDs name allocations so frees can reference them independently of
+// the addresses any particular allocator assigns on replay.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Event kinds.
+const (
+	// KindMalloc records an allocation.
+	KindMalloc byte = 'M'
+	// KindFree records a deallocation.
+	KindFree byte = 'F'
+)
+
+const magic = "MSTR"
+
+// version is the current format version.
+const version = 1
+
+// Event is one allocation-trace event.
+type Event struct {
+	// Kind is KindMalloc or KindFree.
+	Kind byte
+	// Thread is the mutator thread index.
+	Thread uint32
+	// ID is the allocation's stable identifier.
+	ID uint64
+	// Size is the requested size (mallocs only).
+	Size uint64
+}
+
+// Trace is a recorded allocation history.
+type Trace struct {
+	// Threads is the number of mutator threads.
+	Threads uint32
+	// Events in program order.
+	Events []Event
+}
+
+// ErrCorrupt reports a malformed trace.
+var ErrCorrupt = errors.New("trace: corrupt input")
+
+// Write serialises the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], version)
+	binary.LittleEndian.PutUint32(hdr[4:8], t.Threads)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	for _, e := range t.Events {
+		if err := bw.WriteByte(e.Kind); err != nil {
+			return err
+		}
+		n := binary.PutUvarint(buf[:], uint64(e.Thread))
+		n += binary.PutUvarint(buf[n:], e.ID)
+		if e.Kind == KindMalloc {
+			n += binary.PutUvarint(buf[n:], e.Size)
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	t := &Trace{Threads: binary.LittleEndian.Uint32(head[8:12])}
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if kind != KindMalloc && kind != KindFree {
+			return nil, fmt.Errorf("%w: bad event kind %#x", ErrCorrupt, kind)
+		}
+		thread, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		e := Event{Kind: kind, Thread: uint32(thread), ID: id}
+		if kind == KindMalloc {
+			e.Size, err = binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		t.Events = append(t.Events, e)
+	}
+}
+
+// Validate checks trace invariants: every free references a live malloc ID
+// of the same thread history, and IDs are not allocated twice concurrently.
+func (t *Trace) Validate() error {
+	live := make(map[uint64]bool, 1024)
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindMalloc:
+			if live[e.ID] {
+				return fmt.Errorf("trace: event %d: id %d allocated twice", i, e.ID)
+			}
+			if e.Size == 0 {
+				return fmt.Errorf("trace: event %d: zero size", i)
+			}
+			live[e.ID] = true
+		case KindFree:
+			if !live[e.ID] {
+				return fmt.Errorf("trace: event %d: free of dead id %d", i, e.ID)
+			}
+			delete(live, e.ID)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Mallocs, Frees int
+	PeakLive       int
+	PeakLiveBytes  uint64
+	TotalBytes     uint64
+}
+
+// Stats computes summary statistics.
+func (t *Trace) Stats() Stats {
+	var st Stats
+	live := make(map[uint64]uint64)
+	var liveBytes uint64
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindMalloc:
+			st.Mallocs++
+			st.TotalBytes += e.Size
+			live[e.ID] = e.Size
+			liveBytes += e.Size
+			if len(live) > st.PeakLive {
+				st.PeakLive = len(live)
+			}
+			if liveBytes > st.PeakLiveBytes {
+				st.PeakLiveBytes = liveBytes
+			}
+		case KindFree:
+			st.Frees++
+			liveBytes -= live[e.ID]
+			delete(live, e.ID)
+		}
+	}
+	return st
+}

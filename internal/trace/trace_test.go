@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Threads: 2,
+		Events: []Event{
+			{Kind: KindMalloc, Thread: 0, ID: 1, Size: 64},
+			{Kind: KindMalloc, Thread: 1, ID: 2, Size: 1 << 20},
+			{Kind: KindFree, Thread: 0, ID: 1},
+			{Kind: KindFree, Thread: 1, ID: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threads != tr.Threads || !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestReadRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("XXXX\x01\x00\x00\x00\x01\x00\x00\x00"),
+		"bad version": []byte("MSTR\xff\x00\x00\x00\x01\x00\x00\x00"),
+		"bad kind":    append([]byte("MSTR\x01\x00\x00\x00\x01\x00\x00\x00"), 'Z'),
+		"truncated":   append([]byte("MSTR\x01\x00\x00\x00\x01\x00\x00\x00"), 'M', 0x01),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read succeeded", name)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Record(1000, 50, 4096, 7)
+	if err := good.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+	bad := &Trace{Threads: 1, Events: []Event{{Kind: KindFree, ID: 9}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "dead id") {
+		t.Errorf("Validate(double free) = %v", err)
+	}
+	dup := &Trace{Threads: 1, Events: []Event{
+		{Kind: KindMalloc, ID: 1, Size: 8},
+		{Kind: KindMalloc, ID: 1, Size: 8},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("Validate(duplicate id) passed")
+	}
+}
+
+func TestRecordBalanced(t *testing.T) {
+	tr := Record(5000, 100, 1024, 42)
+	st := tr.Stats()
+	if st.Mallocs != st.Frees {
+		t.Errorf("Mallocs=%d Frees=%d, want balanced", st.Mallocs, st.Frees)
+	}
+	if st.PeakLive == 0 || st.PeakLive > 100 {
+		t.Errorf("PeakLive = %d, want (0,100]", st.PeakLive)
+	}
+	if st.PeakLiveBytes == 0 || st.TotalBytes < st.PeakLiveBytes {
+		t.Errorf("byte stats wrong: %+v", st)
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a, b := Record(500, 20, 512, 3), Record(500, 20, 512, 3)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("Record not deterministic for same seed")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr := Record(3000, 64, 8192, 11)
+	space := mem.NewAddressSpace()
+	heap := jemalloc.New(space, jemalloc.DefaultConfig())
+	prog, err := sim.NewProgram(space, heap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(tr, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if res.Mallocs != uint64(st.Mallocs) || res.Frees != uint64(st.Frees) {
+		t.Errorf("replay executed %d/%d, want %d/%d", res.Mallocs, res.Frees, st.Mallocs, st.Frees)
+	}
+	if res.PeakRSS == 0 {
+		t.Error("PeakRSS = 0")
+	}
+	if heap.AllocatedBytes() != 0 {
+		t.Error("replay leaked allocations")
+	}
+}
+
+// Property: any generated trace survives a serialisation round trip intact.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		tr := Record(int(n%2000)+10, 32, 2048, seed)
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Events, tr.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package uaf implements the paper's threat model (§1.2) as an executable
+// experiment: a non-malicious victim application with a use-after-free bug,
+// and an attacker who can allocate memory and store chosen data into it.
+// The attacker wins if they are "given control of an allocation that
+// temporally aliases with a different allocation at a different program
+// point" — the use-after-reallocate of Figure 2: the victim erroneously
+// frees an object while keeping a dangling pointer, the attacker sprays
+// same-size allocations filled with a fake vtable pointer, and the victim
+// then performs a virtual call through the dangling pointer.
+//
+// Under an unprotected allocator the spray lands on the victim's old
+// address and the "call" dispatches to attacker-chosen code. Under
+// MineSweeper the quarantine refuses to recycle the allocation while the
+// dangling pointer exists, so the dispatch reads the zeroed (or original)
+// memory and the exploit fails. Under FFMalloc the address is never reused
+// at all.
+package uaf
+
+import (
+	"errors"
+	"fmt"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+// MaliciousVtable is the attacker's payload: the address of "malicious
+// code". Any value works; the experiment checks whether the victim's
+// dispatch reads it.
+const MaliciousVtable uint64 = 0x4141_4141_4141_4140
+
+// Outcome describes the result of one exploit attempt.
+type Outcome int
+
+// Exploit outcomes.
+const (
+	// Exploited: the victim dispatched through attacker-controlled data —
+	// a successful use-after-reallocate.
+	Exploited Outcome = iota
+	// Benign: the dangling dispatch read stale-but-harmless data (zeroed
+	// quarantined memory, or the original vtable).
+	Benign
+	// Faulted: the access trapped (unmapped quarantined page or retired
+	// address) — the paper's "clean termination".
+	Faulted
+)
+
+// String returns the outcome's name.
+func (o Outcome) String() string {
+	switch o {
+	case Exploited:
+		return "EXPLOITED"
+	case Benign:
+		return "benign use-after-free"
+	case Faulted:
+		return "clean fault"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result details one experiment run.
+type Result struct {
+	// Outcome is the exploit verdict.
+	Outcome Outcome
+	// VictimAddr is the erroneously freed object's address.
+	VictimAddr uint64
+	// SprayHits counts attacker allocations that landed on VictimAddr.
+	SprayHits int
+	// ReadVtable is the value the victim's dispatch loaded (0 on fault).
+	ReadVtable uint64
+}
+
+// Scenario parameterises the attack.
+type Scenario struct {
+	// ObjectSize is the victim object's size (the attacker sprays the
+	// same size to maximise reuse probability).
+	ObjectSize uint64
+	// SprayCount is how many allocations the attacker sprays.
+	SprayCount int
+	// Sweeps is how many forced sweeps occur between the erroneous free
+	// and the victim's dangling use (modelling time passing).
+	Sweeps int
+}
+
+// DefaultScenario mirrors the paper's running example.
+func DefaultScenario() Scenario {
+	return Scenario{ObjectSize: 48, SprayCount: 2000, Sweeps: 2}
+}
+
+// Sweeper is implemented by schemes with forcible sweeps.
+type Sweeper interface{ Sweep() }
+
+// Run executes the exploit attempt against the given allocator. The victim
+// object's first word is its "vtable pointer"; a dangling pointer to the
+// object stays live in the globals segment throughout, exactly as in
+// Listing 1 / Figure 2.
+func Run(prog *sim.Program, victim *sim.Thread, attacker *sim.Thread, sc Scenario) (Result, error) {
+	var res Result
+
+	// Victim: x = new Object(); x->vtable = legitimate.
+	x, err := victim.Malloc(sc.ObjectSize)
+	if err != nil {
+		return res, err
+	}
+	res.VictimAddr = x
+	const legitVtable = 0x1000 // arbitrary non-heap "code address"
+	if err := victim.Store(x, legitVtable); err != nil {
+		return res, err
+	}
+	// The dangling pointer lives in a global.
+	if err := victim.Store(prog.GlobalSlot(0), x); err != nil {
+		return res, err
+	}
+
+	// delete x; — the bug: the global pointer is not cleared.
+	if err := victim.Free(x); err != nil {
+		return res, err
+	}
+
+	// Time passes; protection schemes sweep.
+	forceSweeps(prog, sc.Sweeps)
+
+	// Attacker sprays same-size allocations with the malicious vtable.
+	spray := make([]uint64, 0, sc.SprayCount)
+	for i := 0; i < sc.SprayCount; i++ {
+		a, err := attacker.Malloc(sc.ObjectSize)
+		if err != nil {
+			return res, err
+		}
+		if a == x {
+			res.SprayHits++
+		}
+		if err := attacker.Store(a, MaliciousVtable); err != nil {
+			return res, err
+		}
+		spray = append(spray, a)
+	}
+
+	// Victim: x->fn() — load the vtable through the dangling pointer.
+	ptr, err := victim.Load(prog.GlobalSlot(0))
+	if err != nil {
+		return res, err
+	}
+	vt, err := victim.Load(ptr)
+	if err != nil {
+		var f *mem.Fault
+		if errors.As(err, &f) {
+			res.Outcome = Faulted
+			cleanupSpray(attacker, spray)
+			return res, nil
+		}
+		return res, err
+	}
+	res.ReadVtable = vt
+	if vt == MaliciousVtable {
+		res.Outcome = Exploited
+	} else {
+		res.Outcome = Benign
+	}
+	cleanupSpray(attacker, spray)
+	return res, nil
+}
+
+func cleanupSpray(attacker *sim.Thread, spray []uint64) {
+	for _, a := range spray {
+		_ = attacker.Free(a)
+	}
+}
+
+// forceSweeps triggers n sweeps on schemes that support forcing them.
+func forceSweeps(prog *sim.Program, n int) {
+	s, ok := prog.Heap().(Sweeper)
+	if !ok {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.Sweep()
+	}
+}
+
+// DoubleFreeProbe checks double-free behaviour: it frees the same
+// allocation twice and reports whether the second free was absorbed
+// idempotently (nil error) and whether the allocation was ever handed out
+// twice afterwards.
+func DoubleFreeProbe(th *sim.Thread, size uint64) (absorbed bool, corrupted bool, err error) {
+	a, err := th.Malloc(size)
+	if err != nil {
+		return false, false, err
+	}
+	if err := th.Free(a); err != nil {
+		return false, false, err
+	}
+	err2 := th.Free(a)
+	absorbed = err2 == nil
+
+	// If the double free corrupted state, the same address can be handed
+	// out to two live allocations at once.
+	seen := make(map[uint64]bool)
+	var live []uint64
+	for i := 0; i < 256; i++ {
+		b, err := th.Malloc(size)
+		if err != nil {
+			return absorbed, false, err
+		}
+		if seen[b] {
+			return absorbed, true, nil
+		}
+		seen[b] = true
+		live = append(live, b)
+	}
+	for _, b := range live {
+		_ = th.Free(b)
+	}
+	if err2 != nil && !errors.Is(err2, alloc.ErrDoubleFree) && !errors.Is(err2, alloc.ErrInvalidFree) {
+		return absorbed, false, err2
+	}
+	return absorbed, false, nil
+}

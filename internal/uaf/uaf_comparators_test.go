@@ -1,0 +1,87 @@
+package uaf
+
+import (
+	"testing"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/crcount"
+	"minesweeper/internal/dangsan"
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/oscar"
+	"minesweeper/internal/psweeper"
+)
+
+func TestExploitPreventedByOscar(t *testing.T) {
+	prog, victim, attacker := setup(t, func(s *mem.AddressSpace) alloc.Allocator {
+		return oscar.New(s)
+	})
+	res, err := Run(prog, victim, attacker, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oscar revokes the object's virtual page: the dangling dispatch
+	// faults cleanly, and the VA is never handed out again.
+	if res.Outcome == Exploited {
+		t.Fatal("Oscar failed to prevent the exploit")
+	}
+	if res.Outcome != Faulted {
+		t.Errorf("outcome = %v, want clean fault (revoked page)", res.Outcome)
+	}
+	if res.SprayHits != 0 {
+		t.Error("Oscar reused a revoked virtual address")
+	}
+}
+
+func TestExploitPreventedByDangSan(t *testing.T) {
+	prog, victim, attacker := setup(t, func(s *mem.AddressSpace) alloc.Allocator {
+		return dangsan.New(s, jemalloc.DefaultConfig())
+	})
+	res, err := Run(prog, victim, attacker, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DangSan nullifies the dangling pointer at free time: the victim's
+	// dereference of the poisoned pointer faults. The memory itself IS
+	// reused (spray hits are expected and safe).
+	if res.Outcome == Exploited {
+		t.Fatal("DangSan failed to prevent the exploit")
+	}
+	if res.Outcome != Faulted {
+		t.Errorf("outcome = %v, want clean fault (nullified pointer)", res.Outcome)
+	}
+}
+
+func TestExploitPreventedByPSweeper(t *testing.T) {
+	prog, victim, attacker := setup(t, func(s *mem.AddressSpace) alloc.Allocator {
+		cfg := psweeper.DefaultConfig()
+		cfg.Synchronous = true
+		cfg.WakeThreshold = 1e18
+		return psweeper.New(s, cfg, jemalloc.DefaultConfig())
+	})
+	res, err := Run(prog, victim, attacker, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == Exploited {
+		t.Fatal("pSweeper failed to prevent the exploit")
+	}
+}
+
+func TestExploitPreventedByCRCount(t *testing.T) {
+	prog, victim, attacker := setup(t, func(s *mem.AddressSpace) alloc.Allocator {
+		return crcount.New(s, jemalloc.DefaultConfig())
+	})
+	res, err := Run(prog, victim, attacker, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dangling pointer holds a positive refcount, so the object is
+	// never recycled while it exists: the spray cannot alias it.
+	if res.Outcome == Exploited {
+		t.Fatal("CRCount failed to prevent the exploit")
+	}
+	if res.SprayHits != 0 {
+		t.Error("CRCount reused a referenced zombie")
+	}
+}

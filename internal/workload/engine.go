@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+// maxPtrSlots is the number of leading words of each object reserved for
+// child pointers.
+const maxPtrSlots = 4
+
+// payloadMask keeps generated payload words below the heap base so data
+// never accidentally forms pointers (false pointers still arise from real
+// address values kept too long — the conservative-marking hazard — but not
+// from random payload).
+const payloadMask = 0xFFFF_FFFF
+
+// obj is the engine's bookkeeping for one live allocation. The engine
+// behaves like a correct C program: every stored pointer is erased before
+// the object it targets is freed.
+type obj struct {
+	addr uint64
+	size uint64
+
+	// Incoming reference: either a slot inside a parent object, or a root
+	// slot (stack/global), or none.
+	parent     *obj
+	parentSlot int    // word index within parent
+	rootSlot   uint64 // address of root slot, 0 if none
+
+	children []*obj
+	childIdx int // index of this object in parent.children
+
+	slotsUsed int // child-pointer slots consumed in this object
+}
+
+func (o *obj) ptrSlots() int {
+	n := int(o.size / mem.WordSize)
+	if n > maxPtrSlots {
+		n = maxPtrSlots
+	}
+	return n
+}
+
+// engine runs the generic churn workload on one thread.
+type engine struct {
+	th   *sim.Thread
+	prof *Profile
+	r    *sim.Rand
+
+	objs     []*obj
+	roots    []uint64 // free root-slot addresses
+	lifetime int      // total lifetime weight
+}
+
+// newEngine prepares a thread's engine with its partition of root slots.
+func newEngine(th *sim.Thread, p *sim.Program, prof *Profile, threadIdx int) *engine {
+	e := &engine{
+		th:   th,
+		prof: prof,
+		r:    th.Rand(),
+	}
+	e.lifetime = prof.Lifetime.Newest + prof.Lifetime.Oldest + prof.Lifetime.Random
+	if e.lifetime == 0 {
+		e.prof.Lifetime = Lifetime{Random: 1}
+		e.lifetime = 1
+	}
+	// Root slots: this thread's slice of globals plus its own stack.
+	gPer := p.GlobalSlots() / prof.Threads
+	for i := 0; i < gPer; i++ {
+		e.roots = append(e.roots, p.GlobalSlot(threadIdx*gPer+i))
+	}
+	for i := 0; i < th.StackSlots(); i++ {
+		e.roots = append(e.roots, th.StackSlot(i))
+	}
+	return e
+}
+
+// run executes the profile: a startup phase that builds the initial live
+// heap (so compute-bound benchmarks hold a fixed working set instead of
+// churning), the operation budget, then teardown of all live objects
+// (program exit).
+func (e *engine) run() error {
+	for len(e.objs) < e.prof.LiveTarget {
+		if err := e.allocStep(); err != nil {
+			return fmt.Errorf("workload %s startup: %w", e.prof.Name, err)
+		}
+	}
+	for op := 0; op < e.prof.Ops; op++ {
+		if e.r.Intn(10000) < e.prof.AllocBP {
+			if err := e.allocStep(); err != nil {
+				return fmt.Errorf("workload %s op %d: %w", e.prof.Name, op, err)
+			}
+		} else {
+			if err := e.workStep(); err != nil {
+				return fmt.Errorf("workload %s op %d: %w", e.prof.Name, op, err)
+			}
+		}
+	}
+	for len(e.objs) > 0 {
+		if err := e.freeVictim(); err != nil {
+			return fmt.Errorf("workload %s teardown: %w", e.prof.Name, err)
+		}
+	}
+	return nil
+}
+
+// allocStep frees a victim if the live set is full, then allocates and links
+// a new object.
+func (e *engine) allocStep() error {
+	if len(e.objs) >= e.prof.LiveTarget {
+		if err := e.freeVictim(); err != nil {
+			return err
+		}
+	}
+	size := e.prof.Sizes.Sample(e.r)
+	addr, err := e.th.Malloc(size)
+	if err != nil {
+		return err
+	}
+	o := &obj{addr: addr, size: size}
+
+	// Initialise payload (what a constructor would do).
+	words := int(size / mem.WordSize)
+	init := e.prof.InitWords
+	if init > words {
+		init = words
+	}
+	for w := o.ptrSlots(); w < init; w++ {
+		if err := e.th.Store(addr+uint64(w)*mem.WordSize, e.r.Uint64()&payloadMask); err != nil {
+			return err
+		}
+	}
+
+	// Link the object into the live graph: from a heap parent with a free
+	// pointer slot, else from a root slot, else leave unreferenced.
+	linked := false
+	if len(e.objs) > 0 && e.r.Intn(100) < e.prof.PointerPct {
+		parent := e.objs[e.r.Intn(len(e.objs))]
+		if parent.slotsUsed < parent.ptrSlots() {
+			slot := parent.slotsUsed
+			parent.slotsUsed++
+			if err := e.th.Store(parent.addr+uint64(slot)*mem.WordSize, addr); err != nil {
+				return err
+			}
+			o.parent = parent
+			o.parentSlot = slot
+			o.childIdx = len(parent.children)
+			parent.children = append(parent.children, o)
+			linked = true
+		}
+	}
+	if !linked && len(e.roots) > 0 {
+		slot := e.roots[len(e.roots)-1]
+		e.roots = e.roots[:len(e.roots)-1]
+		if err := e.th.Store(slot, addr); err != nil {
+			return err
+		}
+		o.rootSlot = slot
+	}
+	e.objs = append(e.objs, o)
+	return nil
+}
+
+// freeVictim removes one object per the lifetime policy, erasing all
+// references to it first (correct-program discipline), and detaching its
+// children (their linking pointers die with the object's memory).
+func (e *engine) freeVictim() error {
+	n := len(e.objs)
+	if n == 0 {
+		return nil
+	}
+	var idx int
+	w := e.r.Intn(e.lifetime)
+	switch {
+	case w < e.prof.Lifetime.Newest:
+		idx = n - 1
+	case w < e.prof.Lifetime.Newest+e.prof.Lifetime.Oldest:
+		idx = 0
+	default:
+		idx = e.r.Intn(n)
+	}
+	o := e.objs[idx]
+
+	// Erase the incoming reference.
+	if o.parent != nil {
+		if err := e.th.Store(o.parent.addr+uint64(o.parentSlot)*mem.WordSize, 0); err != nil {
+			return err
+		}
+		// Remove from the parent's child list (swap-remove).
+		cs := o.parent.children
+		last := len(cs) - 1
+		cs[o.childIdx] = cs[last]
+		cs[o.childIdx].childIdx = o.childIdx
+		o.parent.children = cs[:last]
+	} else if o.rootSlot != 0 {
+		if err := e.th.Store(o.rootSlot, 0); err != nil {
+			return err
+		}
+		e.roots = append(e.roots, o.rootSlot)
+	}
+
+	// Children lose their incoming pointer (it lived in o's memory).
+	for _, c := range o.children {
+		c.parent = nil
+	}
+	o.children = nil
+
+	// Remove from the live set, preserving rough age order: index 0 is
+	// removed by re-slicing, others by swap with the last element.
+	if idx == 0 {
+		e.objs = e.objs[1:]
+	} else {
+		e.objs[idx] = e.objs[n-1]
+		e.objs = e.objs[:n-1]
+	}
+	return e.th.Free(o.addr)
+}
+
+// workStep models compute: touching random words of random live objects.
+func (e *engine) workStep() error {
+	if len(e.objs) == 0 {
+		return nil
+	}
+	for t := 0; t < e.prof.WorkTouches; t++ {
+		o := e.objs[e.r.Intn(len(e.objs))]
+		words := int(o.size / mem.WordSize)
+		if words <= o.ptrSlots() {
+			continue
+		}
+		w := o.ptrSlots() + e.r.Intn(words-o.ptrSlots())
+		addr := o.addr + uint64(w)*mem.WordSize
+		if e.r.Intn(4) == 0 {
+			if err := e.th.Store(addr, e.r.Uint64()&payloadMask); err != nil {
+				return err
+			}
+		} else {
+			if _, err := e.th.Load(addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

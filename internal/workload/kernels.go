@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+// xmallocMu guards the cross-thread free rings.
+var xmallocMu sync.Mutex
+
+// runKernel dispatches a thread to the profile's kernel.
+func runKernel(p *sim.Program, th *sim.Thread, prof *Profile, threadIdx int) error {
+	switch prof.Kernel {
+	case "":
+		return newEngine(th, p, prof, threadIdx).run()
+	case "cache-scratch":
+		return kernelCacheScratch(th, prof)
+	case "larson":
+		return kernelLarson(th, prof)
+	case "sh-bench":
+		return kernelSHBench(th, prof)
+	case "xmalloc":
+		return kernelXmalloc(p, th, prof, threadIdx)
+	case "glibc-simple":
+		return kernelGlibcSimple(th, prof)
+	default:
+		return fmt.Errorf("workload: unknown kernel %q", prof.Kernel)
+	}
+}
+
+// kernelCacheScratch models mimalloc-bench cache-scratch: allocate one
+// buffer per thread and loop over it doing work — almost no allocator
+// activity, measuring induced cache behaviour only.
+func kernelCacheScratch(th *sim.Thread, prof *Profile) error {
+	size := prof.Sizes.Sample(th.Rand())
+	buf, err := th.Malloc(size)
+	if err != nil {
+		return err
+	}
+	words := size / mem.WordSize
+	for op := 0; op < prof.Ops; op++ {
+		w := uint64(op) % words
+		v, err := th.Load(buf + w*mem.WordSize)
+		if err != nil {
+			return err
+		}
+		if err := th.Store(buf+w*mem.WordSize, (v+1)&payloadMask); err != nil {
+			return err
+		}
+	}
+	return th.Free(buf)
+}
+
+// kernelLarson models the larson server benchmark: a slot array where each
+// operation frees a random slot and reallocates it with a random size.
+func kernelLarson(th *sim.Thread, prof *Profile) error {
+	r := th.Rand()
+	slots := make([]uint64, prof.LiveTarget)
+	for i := range slots {
+		a, err := th.Malloc(prof.Sizes.Sample(r))
+		if err != nil {
+			return err
+		}
+		slots[i] = a
+	}
+	for op := 0; op < prof.Ops; op++ {
+		i := r.Intn(len(slots))
+		if err := th.Free(slots[i]); err != nil {
+			return err
+		}
+		a, err := th.Malloc(prof.Sizes.Sample(r))
+		if err != nil {
+			return err
+		}
+		slots[i] = a
+		if err := th.Store(a, r.Uint64()&payloadMask); err != nil {
+			return err
+		}
+	}
+	for _, a := range slots {
+		if err := th.Free(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kernelSHBench models sh6bench/sh8bench: repeated batch phases — allocate a
+// batch, free a fraction in allocation order, free the rest in reverse.
+func kernelSHBench(th *sim.Thread, prof *Profile) error {
+	r := th.Rand()
+	batch := prof.LiveTarget
+	rounds := prof.Ops / batch
+	if rounds < 1 {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		addrs := make([]uint64, 0, batch)
+		for i := 0; i < batch; i++ {
+			a, err := th.Malloc(prof.Sizes.Sample(r))
+			if err != nil {
+				return err
+			}
+			if err := th.Store(a, r.Uint64()&payloadMask); err != nil {
+				return err
+			}
+			addrs = append(addrs, a)
+		}
+		// Free the first half in order, the rest in reverse.
+		half := len(addrs) / 2
+		for i := 0; i < half; i++ {
+			if err := th.Free(addrs[i]); err != nil {
+				return err
+			}
+		}
+		for i := len(addrs) - 1; i >= half; i-- {
+			if err := th.Free(addrs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// xmallocRingCap bounds each thread's incoming cross-free ring.
+const xmallocRingCap = 256
+
+// xmallocRings carries cross-thread free traffic for kernelXmalloc, keyed by
+// program. Each thread pushes allocations into its ring slot; the next
+// thread drains and frees them (allocate-here, free-there).
+type xmallocRing struct {
+	ch []chan uint64
+}
+
+var xmallocRings = struct {
+	m map[*sim.Program]*xmallocRing
+}{m: make(map[*sim.Program]*xmallocRing)}
+
+// kernelXmalloc models xmalloc-testN: objects are freed by a different
+// thread than the one that allocated them, stressing cross-thread free
+// paths (remote tcache flushes, shared-bin contention).
+func kernelXmalloc(p *sim.Program, th *sim.Thread, prof *Profile, threadIdx int) error {
+	ring := getXmallocRing(p, prof.Threads)
+	mine := ring.ch[threadIdx]
+	next := ring.ch[(threadIdx+1)%prof.Threads]
+	r := th.Rand()
+
+	drain := func(limit int) error {
+		for i := 0; i < limit; i++ {
+			select {
+			case a := <-mine:
+				if err := th.Free(a); err != nil {
+					return err
+				}
+			default:
+				return nil
+			}
+		}
+		return nil
+	}
+
+	for op := 0; op < prof.Ops; op++ {
+		a, err := th.Malloc(prof.Sizes.Sample(r))
+		if err != nil {
+			return err
+		}
+		select {
+		case next <- a:
+		default:
+			// Peer's ring is full; free locally.
+			if err := th.Free(a); err != nil {
+				return err
+			}
+		}
+		if err := drain(4); err != nil {
+			return err
+		}
+	}
+	// Final drain: peers may still be pushing, so sweep a few times.
+	for i := 0; i < 64; i++ {
+		if err := drain(xmallocRingCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getXmallocRing(p *sim.Program, threads int) *xmallocRing {
+	xmallocMu.Lock()
+	defer xmallocMu.Unlock()
+	if r, ok := xmallocRings.m[p]; ok {
+		return r
+	}
+	r := &xmallocRing{ch: make([]chan uint64, threads)}
+	for i := range r.ch {
+		// Bounded rings: when a thread exits while peers still push, at
+		// most one ring of allocations per thread is stranded.
+		r.ch[i] = make(chan uint64, xmallocRingCap)
+	}
+	xmallocRings.m[p] = r
+	return r
+}
+
+// kernelGlibcSimple models glibc-simple: a tight loop of fixed-size
+// malloc/free pairs with a tiny live window.
+func kernelGlibcSimple(th *sim.Thread, prof *Profile) error {
+	r := th.Rand()
+	var ring [16]uint64
+	for op := 0; op < prof.Ops; op++ {
+		i := op % len(ring)
+		if ring[i] != 0 {
+			if err := th.Free(ring[i]); err != nil {
+				return err
+			}
+		}
+		a, err := th.Malloc(prof.Sizes.Sample(r))
+		if err != nil {
+			return err
+		}
+		ring[i] = a
+	}
+	for _, a := range ring {
+		if a != 0 {
+			if err := th.Free(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

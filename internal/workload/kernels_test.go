@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/sim"
+)
+
+func kernelProgram(t *testing.T) (*sim.Program, *sim.Thread) {
+	t.Helper()
+	space := mem.NewAddressSpace()
+	heap := jemalloc.New(space, jemalloc.DefaultConfig())
+	prog, err := sim.NewProgram(space, heap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := prog.NewThread(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(th.Close)
+	return prog, th
+}
+
+func TestKernelCacheScratchBalanced(t *testing.T) {
+	prog, th := kernelProgram(t)
+	prof := &Profile{Name: "cs", Ops: 5000, Sizes: SizeDist{{1 << 14, 1 << 14, 1}}}
+	if err := kernelCacheScratch(th, prof); err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Heap().Stats()
+	if st.Mallocs != 1 || st.Frees != 1 {
+		t.Errorf("cache-scratch mallocs/frees = %d/%d, want 1/1", st.Mallocs, st.Frees)
+	}
+}
+
+func TestKernelLarsonBalanced(t *testing.T) {
+	prog, th := kernelProgram(t)
+	prof := &Profile{Name: "larson", Ops: 2000, LiveTarget: 64, Sizes: SizeDist{{16, 512, 1}}}
+	if err := kernelLarson(th, prof); err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Heap().Stats()
+	if st.Mallocs != st.Frees {
+		t.Errorf("larson mallocs=%d frees=%d, want balanced", st.Mallocs, st.Frees)
+	}
+	if st.Mallocs < 2000 {
+		t.Errorf("larson did only %d mallocs", st.Mallocs)
+	}
+	if st.Allocated != 0 {
+		t.Errorf("larson leaked %d bytes", st.Allocated)
+	}
+}
+
+func TestKernelSHBenchBalanced(t *testing.T) {
+	prog, th := kernelProgram(t)
+	prof := &Profile{Name: "sh", Ops: 4000, LiveTarget: 500, Sizes: SizeDist{{16, 80, 1}}}
+	if err := kernelSHBench(th, prof); err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Heap().Stats()
+	if st.Mallocs != st.Frees || st.Allocated != 0 {
+		t.Errorf("sh-bench unbalanced: mallocs=%d frees=%d live=%d",
+			st.Mallocs, st.Frees, st.Allocated)
+	}
+}
+
+func TestKernelGlibcSimpleBalanced(t *testing.T) {
+	prog, th := kernelProgram(t)
+	prof := &Profile{Name: "glibc", Ops: 3000, Sizes: SizeDist{{16, 128, 1}}}
+	if err := kernelGlibcSimple(th, prof); err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Heap().Stats()
+	if st.Mallocs != st.Frees || st.Allocated != 0 {
+		t.Errorf("glibc-simple unbalanced: mallocs=%d frees=%d live=%d",
+			st.Mallocs, st.Frees, st.Allocated)
+	}
+}
+
+func TestXmallocCrossThreadFrees(t *testing.T) {
+	// Run the cross-thread kernel via the public runner and confirm the
+	// books balance afterwards (everything eventually freed or drained).
+	p, ok := FindProfile("xmalloc-testN")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	res, err := Run(p, schemes.New(schemes.Baseline), Options{ScaleDiv: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Mallocs == 0 {
+		t.Fatal("no allocations")
+	}
+	// Ring buffers may strand at most one ring per thread when threads
+	// exit while peers still push.
+	stranded := res.Stats.Mallocs - res.Stats.Frees
+	if limit := uint64(p.Threads) * xmallocRingCap; stranded > limit {
+		t.Errorf("%d of %d allocations stranded (> %d)", stranded, res.Stats.Mallocs, limit)
+	}
+}
+
+func TestEngineRootSlotRecycling(t *testing.T) {
+	// Root slots must be returned on free: a long run with a tiny live
+	// target cannot exhaust root slots.
+	space := mem.NewAddressSpace()
+	heap := jemalloc.New(space, jemalloc.DefaultConfig())
+	prog, err := sim.NewProgram(space, heap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := prog.NewThread(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer th.Close()
+	prof := Profile{
+		Name: "slots", Threads: 1, Ops: 20000, AllocBP: 10000,
+		LiveTarget: 4, Sizes: SizeDist{{16, 32, 1}},
+		Lifetime: Lifetime{Random: 1}, PointerPct: 0, InitWords: 1,
+	}
+	e := newEngine(th, prog, &prof, 0)
+	if err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.roots) == 0 {
+		t.Error("root slot pool drained to zero despite tiny live set")
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import "runtime"
+
+// mimalloc-bench stress tests (Figure 19). "These tests have extremely high
+// allocation and deallocation rates; most of them do not do any work, other
+// than allocating and freeing memory" (§5.7). Several use dedicated kernels
+// (larson, sh6/8bench, xmalloc-test, cache-scratch, glibc-simple); the rest
+// are generic-engine profiles with AllocPct near 100 and no work operations.
+
+const stressOps = 400_000
+
+// nThreads is mimalloc-bench's "N": the paper runs N = core count; we use a
+// capped GOMAXPROCS so helper sweepers still have somewhere to run.
+func nThreads() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 2 {
+		n = 2
+	}
+	if n > 4 {
+		n = 4
+	}
+	return n
+}
+
+// MimallocBench returns the 16 stress-test profiles.
+func MimallocBench() []Profile {
+	n := nThreads()
+	perThread := func(ops, threads int) int { return ops / threads }
+	return []Profile{
+		{
+			Name: "alloc-test1", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps,
+			AllocBP: 10000, LiveTarget: 10000, Sizes: SizeDist{{16, 1000, 1}},
+			Lifetime: Lifetime{Random: 1}, PointerPct: 0, InitWords: 2,
+		},
+		{
+			Name: "alloc-testN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			AllocBP: 10000, LiveTarget: 10000, Sizes: SizeDist{{16, 1000, 1}},
+			Lifetime: Lifetime{Random: 1}, PointerPct: 0, InitWords: 2,
+		},
+		{
+			// barnes: n-body simulation, modest allocation plus real work.
+			Name: "barnes", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps / 2,
+			AllocBP: 400, LiveTarget: 4000, Sizes: smallMix,
+			Lifetime:   Lifetime{Newest: 50, Oldest: 30, Random: 20},
+			PointerPct: 60, InitWords: 8, WorkTouches: 10,
+		},
+		{
+			Name: "cache-scratch1", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps,
+			Kernel: "cache-scratch", Sizes: SizeDist{{1 << 16, 1 << 16, 1}},
+		},
+		{
+			Name: "cache-scratchN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, 1),
+			Kernel: "cache-scratch", Sizes: SizeDist{{1 << 16, 1 << 16, 1}},
+		},
+		{
+			// cfrac: continued-fraction factorisation, many tiny bignums.
+			Name: "cfrac", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps,
+			AllocBP: 7000, LiveTarget: 2000, Sizes: SizeDist{{16, 96, 1}},
+			Lifetime:   Lifetime{Newest: 70, Oldest: 10, Random: 20},
+			PointerPct: 30, InitWords: 4, WorkTouches: 2,
+		},
+		{
+			// espresso: logic minimisation, small/medium churn.
+			Name: "espresso", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps,
+			AllocBP: 5000, LiveTarget: 3000, Sizes: SizeDist{{16, 512, 3}, {512, 4096, 1}},
+			Lifetime:   Lifetime{Newest: 55, Oldest: 20, Random: 25},
+			PointerPct: 40, InitWords: 6, WorkTouches: 3,
+		},
+		{
+			Name: "glibc-simple", Suite: "mimalloc-bench", Threads: 1, Ops: stressOps,
+			Kernel: "glibc-simple", Sizes: SizeDist{{16, 128, 1}},
+		},
+		{
+			// glibc-thread: the paper's worst-case memory outlier — a tiny
+			// 4 MiB baseline footprint with many threads whose local
+			// quarantine buffers dominate in relative terms.
+			Name: "glibc-thread", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "glibc-simple", Sizes: SizeDist{{16, 128, 1}},
+		},
+		{
+			Name: "larsonN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "larson", LiveTarget: 1000, Sizes: SizeDist{{16, 1024, 1}},
+		},
+		{
+			Name: "larsonN-sized", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "larson", LiveTarget: 1000, Sizes: SizeDist{{16, 1024, 1}},
+		},
+		{
+			// mstress: allocation bursts with retained lists, deallocating
+			// largely in allocation order (easy on FFMalloc, §5.7).
+			Name: "mstressN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			AllocBP: 9000, LiveTarget: 5000, Sizes: SizeDist{{16, 4096, 9}, {4096, 65536, 1}},
+			Lifetime: Lifetime{Oldest: 80, Random: 20}, PointerPct: 30, InitWords: 4,
+		},
+		{
+			Name: "rptestN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			AllocBP: 8500, LiveTarget: 4000, Sizes: SizeDist{{16, 8192, 1}},
+			Lifetime: Lifetime{Newest: 30, Oldest: 40, Random: 30}, PointerPct: 10, InitWords: 4,
+		},
+		{
+			Name: "sh6benchN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "sh-bench", LiveTarget: 2000, Sizes: SizeDist{{16, 80, 1}},
+		},
+		{
+			Name: "sh8benchN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "sh-bench", LiveTarget: 4000, Sizes: SizeDist{{16, 512, 1}},
+		},
+		{
+			Name: "xmalloc-testN", Suite: "mimalloc-bench", Threads: n, Ops: perThread(stressOps, n),
+			Kernel: "xmalloc", Sizes: SizeDist{{16, 512, 1}},
+		},
+	}
+}

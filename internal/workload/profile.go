@@ -1,0 +1,100 @@
+// Package workload provides the synthetic mutators standing in for the
+// paper's benchmark programs. Each SPEC CPU2006/2017 benchmark and each
+// mimalloc-bench stress test is modelled as a Profile: a parameterised
+// allocation behaviour (rate, size distribution, live-set size, lifetime
+// pattern, pointer density, threading) driving the generic churn engine or a
+// dedicated kernel. The profiles preserve the axis the paper's overheads
+// depend on — how allocation-intensive each program is — which is what makes
+// xalancbmk/omnetpp/gcc expensive and lbm/namd free (§5.2).
+package workload
+
+import "minesweeper/internal/sim"
+
+// SizeBucket is one weighted size range of a distribution.
+type SizeBucket struct {
+	// Lo and Hi bound the sizes drawn (inclusive).
+	Lo, Hi uint64
+	// Weight is the bucket's relative probability.
+	Weight int
+}
+
+// SizeDist is a weighted mixture of size ranges.
+type SizeDist []SizeBucket
+
+// Sample draws one allocation size.
+func (d SizeDist) Sample(r *sim.Rand) uint64 {
+	total := 0
+	for _, b := range d {
+		total += b.Weight
+	}
+	n := r.Intn(total)
+	for _, b := range d {
+		if n < b.Weight {
+			return r.Range(b.Lo, b.Hi)
+		}
+		n -= b.Weight
+	}
+	return d[len(d)-1].Hi
+}
+
+// Lifetime weights victim selection when the live set must shrink: freeing
+// the newest object (LIFO, stack-like), the oldest (FIFO, queue/phase-like),
+// or a uniformly random one (mixed lifetimes — the pattern that defeats
+// one-time allocators).
+type Lifetime struct {
+	Newest, Oldest, Random int
+}
+
+// Profile describes one benchmark workload.
+type Profile struct {
+	// Name is the benchmark's name (e.g. "xalancbmk").
+	Name string
+	// Suite groups profiles ("spec2006", "spec2017", "mimalloc-bench").
+	Suite string
+	// Threads is the mutator thread count.
+	Threads int
+	// Ops is the total operation budget per thread.
+	Ops int
+	// AllocBP is the share of operations that allocate (with a paired
+	// free once the live set is full), in basis points (1/100 of a
+	// percent); the rest are work operations (reads/writes of live data).
+	// Fine granularity matters: most SPEC benchmarks allocate orders of
+	// magnitude less often than they compute.
+	AllocBP int
+	// LiveTarget is the steady-state live object count per thread.
+	LiveTarget int
+	// Sizes is the allocation size distribution.
+	Sizes SizeDist
+	// Lifetime weights the victim-selection policy.
+	Lifetime Lifetime
+	// PointerPct is the percentage of new objects linked from a heap
+	// parent rather than a root slot.
+	PointerPct int
+	// InitWords is how many payload words are written at allocation.
+	InitWords int
+	// WorkTouches is how many random words a work operation touches.
+	WorkTouches int
+	// Kernel selects a dedicated kernel instead of the generic churn
+	// engine ("" = generic). See kernels.go.
+	Kernel string
+}
+
+// scaled returns a copy with the operation budget and live-set size divided
+// by factor (>= 1), for quick bench runs. Scaling both preserves the
+// fill-to-churn proportions, so scaled runs stay in the same regime as
+// full-scale ones.
+func (p Profile) scaled(factor int) Profile {
+	if factor > 1 {
+		p.Ops /= factor
+		if p.Ops < 1000 {
+			p.Ops = 1000
+		}
+		if p.LiveTarget > 0 {
+			p.LiveTarget /= factor
+			if p.LiveTarget < 64 {
+				p.LiveTarget = 64
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,57 @@
+package workload
+
+// SPECspeed2017 profiles (Figure 18). Starred benchmarks in the paper are
+// OpenMP-parallel; those run with 4 mutator threads here (the paper used the
+// better of 4- and 8-thread configurations on a 4-core machine). xalancbmk
+// remains the worst case (2x in the paper), wrf the worst parallel case
+// (66%).
+
+const spec17Ops = 500_000
+
+// Spec2017 returns the 18 SPECspeed2017 profiles.
+func Spec2017() []Profile {
+	mk := func(name string, threads, allocBP, live int, sizes SizeDist, lt Lifetime, ptr int) Profile {
+		ops := spec17Ops
+		if threads > 1 {
+			ops /= threads
+		}
+		return Profile{
+			Name: name, Suite: "spec2017", Threads: threads, Ops: ops,
+			AllocBP: allocBP, LiveTarget: live, Sizes: sizes,
+			Lifetime: lt, PointerPct: ptr, InitWords: 8, WorkTouches: 6,
+		}
+	}
+	balanced := Lifetime{Newest: 40, Oldest: 30, Random: 30}
+	lifo := Lifetime{Newest: 60, Oldest: 20, Random: 20}
+	return []Profile{
+		mk("perlbench", 1, 1300, 40000, smallMix, Lifetime{40, 25, 35}, 65),
+		mk("gcc", 1, 280, 12000, mediumMix, Lifetime{25, 55, 20}, 55),
+		mk("mcf", 1, 50, 3000, largeMix, balanced, 40),
+		mk("xalancbmk", 1, 9500, 120000, tinyMix, Lifetime{35, 30, 35}, 65),
+		mk("x264", 1, 60, 400, largeMix, lifo, 20),
+		mk("deepsjeng", 1, 30, 150, mediumMix, lifo, 30),
+		mk("leela", 1, 600, 3000, smallMix, lifo, 50),
+		mk("exchange2", 1, 20, 100, smallMix, lifo, 20),
+		mk("xz", 1, 30, 60, largeMix, lifo, 10),
+		// OpenMP-parallel (starred in Figure 18).
+		mk("bwaves", 4, 20, 50, largeMix, lifo, 10),
+		mk("cactuBSSN", 4, 40, 200, largeMix, balanced, 20),
+		mk("lbm", 4, 20, 20, largeMix, lifo, 10),
+		mk("wrf", 4, 2500, 8000, mediumMix, Lifetime{30, 35, 35}, 40),
+		mk("pop2", 4, 300, 800, mediumMix, balanced, 30),
+		mk("imagick", 4, 200, 600, largeMix, lifo, 20),
+		mk("nab", 4, 200, 500, mediumMix, lifo, 30),
+		mk("fotonik3d", 4, 20, 60, largeMix, lifo, 10),
+		mk("roms", 4, 40, 150, largeMix, balanced, 15),
+	}
+}
+
+// Spec2017Parallel reports whether a SPEC2017 benchmark is OpenMP-parallel
+// (starred in Figure 18).
+func Spec2017Parallel(name string) bool {
+	switch name {
+	case "bwaves", "cactuBSSN", "lbm", "wrf", "pop2", "imagick", "nab", "fotonik3d", "roms":
+		return true
+	}
+	return false
+}

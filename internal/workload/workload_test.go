@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"testing"
+
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/sim"
+)
+
+func TestSizeDistSample(t *testing.T) {
+	d := SizeDist{{16, 64, 1}, {1024, 2048, 1}}
+	r := sim.NewRand(1)
+	low, high := 0, 0
+	for i := 0; i < 10000; i++ {
+		s := d.Sample(r)
+		switch {
+		case s >= 16 && s <= 64:
+			low++
+		case s >= 1024 && s <= 2048:
+			high++
+		default:
+			t.Fatalf("sample %d outside both buckets", s)
+		}
+	}
+	// Roughly balanced with equal weights.
+	if low < 4000 || high < 4000 {
+		t.Errorf("bucket balance off: %d vs %d", low, high)
+	}
+}
+
+func TestProfileInventory(t *testing.T) {
+	if got := len(Spec2006()); got != 19 {
+		t.Errorf("Spec2006 has %d profiles, want 19", got)
+	}
+	if got := len(Spec2017()); got != 18 {
+		t.Errorf("Spec2017 has %d profiles, want 18", got)
+	}
+	if got := len(MimallocBench()); got != 16 {
+		t.Errorf("MimallocBench has %d profiles, want 16", got)
+	}
+	seen := map[string]bool{}
+	for _, p := range AllProfiles() {
+		key := p.Suite + "/" + p.Name
+		if seen[key] {
+			t.Errorf("duplicate profile %s", key)
+		}
+		seen[key] = true
+		if p.Threads < 1 && p.Kernel == "" {
+			t.Errorf("%s: no threads", key)
+		}
+		if p.Ops <= 0 {
+			t.Errorf("%s: no ops", key)
+		}
+		if len(p.Sizes) == 0 {
+			t.Errorf("%s: no size distribution", key)
+		}
+		for _, b := range p.Sizes {
+			if b.Lo < 16 && p.Kernel == "" {
+				t.Errorf("%s: size bucket below 16B breaks the pointer-slot scheme", key)
+			}
+		}
+	}
+	if _, ok := FindProfile("xalancbmk"); !ok {
+		t.Error("FindProfile(xalancbmk) failed")
+	}
+	if _, ok := FindProfile("nonexistent"); ok {
+		t.Error("FindProfile(nonexistent) succeeded")
+	}
+}
+
+// runQuick runs a scaled-down profile under one scheme and fails the test on
+// any workload error.
+func runQuick(t *testing.T, name string, kind schemes.Kind) Result {
+	t.Helper()
+	p, ok := FindProfile(name)
+	if !ok {
+		t.Fatalf("profile %s not found", name)
+	}
+	res, err := Run(p, schemes.New(kind), Options{ScaleDiv: 50})
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", name, kind, err)
+	}
+	return res
+}
+
+func TestEngineRunsUnderAllSchemes(t *testing.T) {
+	for _, kind := range []schemes.Kind{
+		schemes.Baseline, schemes.MineSweeper, schemes.MineSweeperMostly,
+		schemes.MarkUs, schemes.FFMalloc, schemes.Scudo,
+	} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			res := runQuick(t, "omnetpp", kind)
+			if res.Wall <= 0 {
+				t.Error("no wall time measured")
+			}
+			if res.PeakRSS == 0 {
+				t.Error("no memory sampled")
+			}
+			if res.UAFs != 0 {
+				t.Errorf("correct program faulted %d times", res.UAFs)
+			}
+			if res.Stats.Mallocs == 0 {
+				t.Error("no allocations recorded")
+			}
+		})
+	}
+}
+
+func TestEngineNoLeaksAtExit(t *testing.T) {
+	res := runQuick(t, "perlbench", schemes.Baseline)
+	if res.Stats.Allocated != 0 {
+		t.Errorf("Allocated = %d at exit, want 0 (engine leak)", res.Stats.Allocated)
+	}
+	if res.Stats.Mallocs != res.Stats.Frees {
+		t.Errorf("Mallocs=%d != Frees=%d", res.Stats.Mallocs, res.Stats.Frees)
+	}
+}
+
+func TestMineSweeperNoFalseFailedFreesExplosion(t *testing.T) {
+	// A correct program erases pointers before freeing, so failed frees
+	// should be rare (only unlucky data).
+	res := runQuick(t, "perlbench", schemes.MineSweeper)
+	if res.Stats.Sweeps == 0 {
+		t.Skip("no sweeps at this scale")
+	}
+	total := res.Stats.ReleasedFrees + res.Stats.FailedFrees
+	if total > 0 && float64(res.Stats.FailedFrees)/float64(total) > 0.05 {
+		t.Errorf("failed frees = %d of %d swept (> 5%%): engine leaves dangling pointers",
+			res.Stats.FailedFrees, total)
+	}
+}
+
+func TestDedicatedKernels(t *testing.T) {
+	for _, name := range []string{"cache-scratch1", "larsonN", "sh6benchN", "xmalloc-testN", "glibc-simple"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := runQuick(t, name, schemes.MineSweeper)
+			if res.Stats.Mallocs == 0 {
+				t.Error("kernel did not allocate")
+			}
+			if res.UAFs != 0 {
+				t.Errorf("kernel faulted %d times", res.UAFs)
+			}
+		})
+	}
+}
+
+func TestThreadedProfileUnderMineSweeper(t *testing.T) {
+	res := runQuick(t, "wrf", schemes.MineSweeper)
+	if res.Stats.Mallocs == 0 {
+		t.Error("no allocations")
+	}
+	if res.UAFs != 0 {
+		t.Errorf("threaded run faulted %d times", res.UAFs)
+	}
+}
+
+func TestCompareProducesRatios(t *testing.T) {
+	p, _ := FindProfile("espresso")
+	c, err := Compare(p, schemes.New(schemes.MineSweeper), Options{ScaleDiv: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slowdown <= 0 || c.AvgMem <= 0 {
+		t.Errorf("ratios not computed: %+v", c)
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	p := Profile{Ops: 10000, LiveTarget: 100000}
+	q := p.scaled(100)
+	if q.Ops != 1000 {
+		t.Errorf("scaled ops floor = %d, want 1000", q.Ops)
+	}
+	if q.LiveTarget != 1000 {
+		t.Errorf("scaled live = %d, want 1000", q.LiveTarget)
+	}
+	tiny := Profile{Ops: 2000, LiveTarget: 70}
+	if got := tiny.scaled(50); got.Ops != 1000 || got.LiveTarget != 64 {
+		t.Errorf("floors = %d/%d, want 1000/64", got.Ops, got.LiveTarget)
+	}
+	if got := p.scaled(1); got.Ops != 10000 || got.LiveTarget != 100000 {
+		t.Errorf("scaled(1) changed the profile")
+	}
+}
+
+func TestComparatorSchemesRunWorkloads(t *testing.T) {
+	// The four pointer-tracking/page-permission comparators must survive a
+	// real workload (correct program: no UAF faults, no leaks at exit).
+	for _, kind := range []schemes.Kind{
+		schemes.Oscar, schemes.DangSan, schemes.PSweeper, schemes.CRCount,
+	} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			res := runQuick(t, "espresso", kind)
+			if res.UAFs != 0 {
+				t.Errorf("correct program faulted %d times", res.UAFs)
+			}
+			if res.Stats.Mallocs == 0 {
+				t.Error("no allocations recorded")
+			}
+		})
+	}
+}
+
+func TestNullifyingSchemesKeepEngineConsistent(t *testing.T) {
+	// DangSan/pSweeper write poison into dangling locations. A correct
+	// program erases its pointers before freeing, so nothing should ever
+	// be nullified during a clean workload.
+	res := runQuick(t, "cfrac", schemes.DangSan)
+	if res.UAFs != 0 {
+		t.Errorf("dangsan: %d faults in a correct program", res.UAFs)
+	}
+}

@@ -1,0 +1,190 @@
+// Package minesweeper is a faithful Go reproduction of MineSweeper (Erdős,
+// Ainsworth & Jones, ASPLOS 2022): a drop-in layer between an application
+// and its memory allocator that prevents use-after-free exploitation by
+// quarantining freed allocations until a linear sweep of program memory
+// proves no dangling pointers to them remain.
+//
+// Go has no manual memory management, so the library ships its own complete
+// substrate: a simulated 64-bit virtual address space (internal/mem), a
+// jemalloc-style allocator (internal/jemalloc), the MineSweeper layer itself
+// (internal/core) with zero-on-free, large-object unmapping, concurrent
+// parallel sweeping and allocator purge integration, plus the paper's two
+// comparison systems, MarkUs (internal/markus) and FFMalloc
+// (internal/ffmalloc), and a Scudo-style hardened allocator pairing
+// (internal/scudo).
+//
+// The public API models a protected process:
+//
+//	proc, _ := minesweeper.NewProcess(minesweeper.Config{Scheme: minesweeper.SchemeMineSweeper})
+//	defer proc.Close()
+//	th, _ := proc.NewThread()
+//	p, _ := th.Malloc(64)
+//	th.Store(p, 42)
+//	th.Free(p)            // quarantined, zeroed — not yet reusable
+//	v, _ := th.Load(p)    // benign use-after-free: reads 0
+//
+// Every pointer a workload stores is a real address in the simulated space;
+// sweeps, shadow-map marking, double-free de-duplication and page unmapping
+// all operate exactly as described in the paper. See DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package minesweeper
+
+import (
+	"fmt"
+
+	"minesweeper/internal/alloc"
+)
+
+// Addr is a virtual address in the simulated process.
+type Addr = uint64
+
+// Scheme selects the memory-management scheme protecting a Process.
+type Scheme int
+
+// Available schemes.
+const (
+	// SchemeBaseline is unprotected jemalloc (the evaluation baseline).
+	SchemeBaseline Scheme = iota
+	// SchemeMineSweeper is the paper's default: fully concurrent sweeps.
+	SchemeMineSweeper
+	// SchemeMineSweeperMostlyConcurrent adds the stop-the-world re-scan
+	// of modified pages (§4.3, §5.3).
+	SchemeMineSweeperMostlyConcurrent
+	// SchemeMarkUs is the transitive-marking comparison system.
+	SchemeMarkUs
+	// SchemeFFMalloc is the one-time-allocator comparison system.
+	SchemeFFMalloc
+	// SchemeScudoMineSweeper pairs MineSweeper with a Scudo-style
+	// hardened allocator (§7).
+	SchemeScudoMineSweeper
+	// SchemeOscar is the page-permissions comparator (§6.3).
+	SchemeOscar
+	// SchemeDangSan is the pointer-tracking nullification comparator
+	// (§6.4).
+	SchemeDangSan
+	// SchemePSweeper is the concurrent pointer-sweeping comparator (§6.4).
+	SchemePSweeper
+	// SchemeCRCount is the reference-counting comparator (§6.6).
+	SchemeCRCount
+	// SchemeDlmalloc is an unprotected GNU-malloc-style allocator with
+	// in-band metadata (the §2 footnote's corruptible baseline).
+	SchemeDlmalloc
+	// SchemeMineSweeperDlmalloc drops MineSweeper onto the dlmalloc
+	// substrate — a second any-allocator integration (§7).
+	SchemeMineSweeperDlmalloc
+)
+
+// String returns the scheme's name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeMineSweeper:
+		return "minesweeper"
+	case SchemeMineSweeperMostlyConcurrent:
+		return "minesweeper-mostly"
+	case SchemeMarkUs:
+		return "markus"
+	case SchemeFFMalloc:
+		return "ffmalloc"
+	case SchemeScudoMineSweeper:
+		return "scudo-minesweeper"
+	case SchemeOscar:
+		return "oscar"
+	case SchemeDangSan:
+		return "dangsan"
+	case SchemePSweeper:
+		return "psweeper"
+	case SchemeCRCount:
+		return "crcount"
+	case SchemeDlmalloc:
+		return "dlmalloc"
+	case SchemeMineSweeperDlmalloc:
+		return "minesweeper-dlmalloc"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Allocation errors, matched with errors.Is.
+var (
+	// ErrOutOfMemory reports address-space exhaustion.
+	ErrOutOfMemory = alloc.ErrOutOfMemory
+	// ErrInvalidFree reports a free of something that is not a live
+	// allocation base.
+	ErrInvalidFree = alloc.ErrInvalidFree
+	// ErrDoubleFree reports a detected double free (only surfaced by
+	// schemes/configurations that report rather than absorb them).
+	ErrDoubleFree = alloc.ErrDoubleFree
+)
+
+// Config configures a Process. The zero value is a usable MineSweeper
+// default (SchemeBaseline is explicit: Scheme's zero value is the baseline,
+// so pick SchemeMineSweeper for protection).
+type Config struct {
+	// Scheme selects the protection scheme.
+	Scheme Scheme
+	// SweepThreshold overrides the quarantine fraction that triggers a
+	// sweep (default 0.15; MarkUs uses 0.25). Ignored by schemes without
+	// sweeps.
+	SweepThreshold float64
+	// Helpers overrides the helper sweep-thread count (default 6, clamped
+	// to available CPUs).
+	Helpers int
+	// PauseThreshold overrides the allocation-pause threshold (§5.7);
+	// zero keeps the default, negative disables pausing.
+	PauseThreshold float64
+	// UnmappedFactor overrides the unmapped-quarantine sweep trigger
+	// (default 9, §4.2).
+	UnmappedFactor float64
+	// BufferCap overrides the thread-local quarantine buffer capacity.
+	BufferCap int
+	// DisableZeroing turns off zero-on-free (§4.1) — ablation only.
+	DisableZeroing bool
+	// DisableUnmapping turns off large-object page release (§4.2).
+	DisableUnmapping bool
+	// DisablePurging turns off the post-sweep allocator purge (§4.5).
+	DisablePurging bool
+	// Synchronous runs sweeps on the freeing thread (ablation, Figure 15).
+	Synchronous bool
+	// DebugDoubleFree reports double frees as errors instead of absorbing
+	// them (the paper's debug mode).
+	DebugDoubleFree bool
+}
+
+// Stats is a snapshot of a Process's memory-management statistics.
+type Stats struct {
+	// Allocated is live application bytes.
+	Allocated uint64
+	// Quarantined is freed-but-not-yet-released bytes (mapped + unmapped).
+	Quarantined uint64
+	// QuarantinedUnmapped is the unmapped portion of Quarantined.
+	QuarantinedUnmapped uint64
+	// RSS is the resident footprint of the simulated process, excluding
+	// allocator metadata.
+	RSS uint64
+	// MetaBytes estimates allocator and quarantine metadata.
+	MetaBytes uint64
+	// Mallocs and Frees count completed operations at the substrate.
+	Mallocs, Frees uint64
+	// Sweeps counts completed sweep or marking passes.
+	Sweeps uint64
+	// FailedFrees counts quarantined allocations kept back by a sweep.
+	FailedFrees uint64
+	// ReleasedFrees counts quarantined allocations released by sweeps.
+	ReleasedFrees uint64
+	// DoubleFrees counts absorbed double frees.
+	DoubleFrees uint64
+	// BytesSwept is the total memory examined by sweeps.
+	BytesSwept uint64
+	// SweeperBusy is background sweeper CPU time in nanoseconds.
+	SweeperBusy uint64
+	// STWTime is stop-the-world time in nanoseconds.
+	STWTime uint64
+	// PauseTime is allocation-pause time in nanoseconds (§5.7).
+	PauseTime uint64
+	// UAFFaults counts memory accesses that faulted — use-after-free
+	// attempts the scheme turned into clean faults.
+	UAFFaults uint64
+}

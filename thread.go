@@ -1,0 +1,49 @@
+package minesweeper
+
+import "minesweeper/internal/sim"
+
+// Thread is one mutator thread of a Process. A Thread's methods are not safe
+// for concurrent use; each goroutine owns its Thread, as an OS thread owns
+// its stack.
+type Thread struct {
+	th   *sim.Thread
+	proc *Process
+}
+
+// Malloc allocates size bytes and returns the base address. Contents are
+// unspecified, as with C malloc.
+func (t *Thread) Malloc(size uint64) (Addr, error) { return t.th.Malloc(size) }
+
+// Free frees the allocation based at addr. Under protecting schemes the
+// memory is quarantined (and zeroed) rather than made reusable.
+func (t *Thread) Free(addr Addr) error { return t.th.Free(addr) }
+
+// Store writes the 8-byte word at addr. Storing a heap address creates a
+// real pointer that sweeps will observe.
+func (t *Thread) Store(addr Addr, val uint64) error { return t.th.Store(addr, val) }
+
+// Load reads the 8-byte word at addr. Reads of quarantined memory return
+// zero (zero-on-free); reads of unmapped or released memory fault.
+func (t *Thread) Load(addr Addr) (uint64, error) { return t.th.Load(addr) }
+
+// StackSlot returns the address of 8-byte stack slot i. Stack slots are
+// sweep roots.
+func (t *Thread) StackSlot(i int) Addr { return t.th.StackSlot(i) }
+
+// StackSlots returns the number of stack slots.
+func (t *Thread) StackSlots() int { return t.th.StackSlots() }
+
+// Close unregisters the thread.
+func (t *Thread) Close() { t.th.Close() }
+
+// Store8 writes one byte at addr (read-modify-write of the containing word).
+func (t *Thread) Store8(addr Addr, v byte) error { return t.th.Store8(addr, v) }
+
+// Load8 reads one byte at addr.
+func (t *Thread) Load8(addr Addr) (byte, error) { return t.th.Load8(addr) }
+
+// StoreBytes writes p starting at addr — string or struct payloads.
+func (t *Thread) StoreBytes(addr Addr, p []byte) error { return t.th.StoreBytes(addr, p) }
+
+// LoadBytes reads n bytes starting at addr.
+func (t *Thread) LoadBytes(addr Addr, n uint64) ([]byte, error) { return t.th.LoadBytes(addr, n) }
