@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race race-hot bench bench-all figures examples clean
 
 all: build vet test
 
@@ -18,8 +18,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One testing.B target per paper figure plus the API micro-benchmarks.
+# Race-detector pass over the concurrent hot-path packages (sweeper workers,
+# shadow markers, page scanning, the core sweep loop) — much faster than a
+# full `make race` and the first thing to run after touching the sweep path.
+race-hot:
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem
+
+# One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
+# sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepMarkAll|BenchmarkShadowMarker|BenchmarkScanPage' -benchmem -count=1 ./internal/sweep ./internal/shadow ./internal/mem
+
+# One testing.B target per paper figure plus the API micro-benchmarks.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every figure at full scale (the artifact's do_all.sh analogue).

@@ -303,9 +303,14 @@ func (m *msHooks) Decommit(space *mem.AddressSpace, base, size uint64) error {
 	if err := m.hooks().Decommit(space, base, size); err != nil {
 		return err
 	}
+	// An extent's pages are consecutive granules of the page-granular
+	// bitmap, so a write-combining Marker turns up to 64 per-page atomics
+	// into one.
+	mk := m.h.unmappedPages.NewMarker()
 	for p := base; p < base+size; p += mem.PageSize {
-		m.h.unmappedPages.Mark(p)
+		mk.Mark(p)
 	}
+	mk.Flush()
 	return nil
 }
 

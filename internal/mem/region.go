@@ -279,6 +279,29 @@ func (r *Region) zeroRange(addr, n uint64) {
 	}
 }
 
+// ScanPageWords invokes fn with page p's backing words while holding the
+// page lock, returning whether the page was readable. It is the sweeper's
+// bulk-read primitive: one lock acquisition and one backing lookup cover the
+// whole page, so the inner loop iterates a plain []uint64 instead of paying
+// WordAt's pointer chase per word. fn must load words with
+// sync/atomic.LoadUint64 (mutator stores are per-word atomic and do not take
+// the page lock) and must not retain the slice past its return. If the
+// backing was dropped by a concurrent decommit, fn receives an empty slice —
+// the page reads as all zeros, exactly as WordAt would report it.
+func (r *Region) ScanPageWords(p int, fn func(words []uint64)) bool {
+	if !r.PageReadable(p) {
+		return false
+	}
+	r.LockPage(p)
+	var ws []uint64
+	if w := r.wordSlice(); w != nil {
+		ws = w[p*WordsPerPage : (p+1)*WordsPerPage]
+	}
+	fn(ws)
+	r.UnlockPage(p)
+	return true
+}
+
 // ScanRange calls fn for every word of [addr, addr+n) that lies on a
 // readable resident page, taking the page lock per page segment. It is the
 // safe bulk-read primitive for markers that walk object contents (MarkUs).

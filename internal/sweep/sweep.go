@@ -7,8 +7,20 @@
 //
 // Work is divided among a main sweeper and a configurable number of helpers
 // (6 by default, as in the paper), each taking fixed-size page chunks from a
-// shared queue. Only resident, readable pages are scanned, so pages that
-// were purged or unmapped in quarantine are skipped (§4.2, §4.5).
+// striped work queue: every worker drains its own contiguous range of chunks
+// and steals from the others' ranges once its own runs dry, so large regions
+// do not serialise all workers on one shared ticket counter. The chunk queue
+// and stripe descriptors are reused across sweeps.
+//
+// The per-chunk hot loop is deliberately lean: mem.Region.ScanPageWords
+// yields each page's backing as a plain []uint64 under the page lock (one
+// lock and one backing lookup per page instead of a WordAt pointer chase per
+// word), zero words — the common case on zero-on-free heaps — are skipped
+// with a single compare, and marks are buffered through a per-worker
+// shadow.Marker that batches clustered marks into one atomic OR.
+//
+// Only resident, readable pages are scanned, so pages that were purged or
+// unmapped in quarantine are skipped (§4.2, §4.5).
 //
 // Two scan entry points support the two operation modes: MarkAll for the
 // concurrent full pass, and MarkDirty for the mostly-concurrent mode's brief
@@ -49,6 +61,14 @@ type Sweeper struct {
 	marks   *shadow.Bitmap
 	helpers int
 
+	// runMu serialises passes so the work queue and stripe descriptors can
+	// be reused across sweeps without reallocation. Sweeps are already
+	// serialised by the core layer's sweep lock; this keeps the Sweeper
+	// safe on its own.
+	runMu   sync.Mutex
+	chunks  []chunk  // reusable work queue, valid only during a pass
+	stripes []stripe // reusable per-worker ticket ranges
+
 	bytesSwept atomic.Uint64
 	busyNanos  atomic.Int64 // summed worker busy time (CPU usage meter)
 }
@@ -82,9 +102,20 @@ type chunk struct {
 	dirtyOnly bool
 }
 
-// collectChunks slices all sweepable regions into page chunks.
+// stripe is one worker's contiguous range of the chunk queue. The owner and
+// any thieves claim chunks through the same atomic ticket, so stealing needs
+// no extra synchronisation; the padding keeps each ticket on its own cache
+// line so workers do not false-share their counters.
+type stripe struct {
+	next atomic.Int64
+	end  int64
+	_    [48]byte
+}
+
+// collectChunks slices all sweepable regions into page chunks, reusing the
+// queue's backing array from the previous pass. Caller holds runMu.
 func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
-	var chunks []chunk
+	chunks := s.chunks[:0]
 	for _, r := range s.space.Regions() {
 		switch r.Kind() {
 		case mem.KindHeap, mem.KindStack, mem.KindGlobals:
@@ -100,71 +131,140 @@ func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
 			chunks = append(chunks, chunk{r: r, pageFirst: p, pageAfter: end, dirtyOnly: dirtyOnly})
 		}
 	}
+	s.chunks = chunks
 	return chunks
 }
 
-// scanChunk marks pointer targets in one chunk, returning bytes scanned.
-func (s *Sweeper) scanChunk(c chunk) uint64 {
-	var scanned uint64
-	r := c.r
-	for p := c.pageFirst; p < c.pageAfter; p++ {
-		if !r.PageReadable(p) {
+// scanPageWords is the sweep's innermost loop: every word of one page,
+// already fetched as a plain slice under the page lock. Words are loaded
+// atomically (mutator stores are per-word atomic and take no lock), eight at
+// a time so a single OR-combined compare skips zero groups — on a
+// zero-on-free heap most of the heap is zeros, and purged or freshly
+// committed pages are entirely so. The heap filter is one subtract and one
+// unsigned compare per surviving word.
+func scanPageWords(words []uint64, mk *shadow.Marker) {
+	const span = mem.HeapLimit - mem.HeapBase
+	i := 0
+	for ; i+8 <= len(words); i += 8 {
+		v0 := atomic.LoadUint64(&words[i])
+		v1 := atomic.LoadUint64(&words[i+1])
+		v2 := atomic.LoadUint64(&words[i+2])
+		v3 := atomic.LoadUint64(&words[i+3])
+		v4 := atomic.LoadUint64(&words[i+4])
+		v5 := atomic.LoadUint64(&words[i+5])
+		v6 := atomic.LoadUint64(&words[i+6])
+		v7 := atomic.LoadUint64(&words[i+7])
+		if v0|v1|v2|v3|v4|v5|v6|v7 == 0 {
 			continue
 		}
+		if v0-mem.HeapBase < span {
+			mk.Mark(v0)
+		}
+		if v1-mem.HeapBase < span {
+			mk.Mark(v1)
+		}
+		if v2-mem.HeapBase < span {
+			mk.Mark(v2)
+		}
+		if v3-mem.HeapBase < span {
+			mk.Mark(v3)
+		}
+		if v4-mem.HeapBase < span {
+			mk.Mark(v4)
+		}
+		if v5-mem.HeapBase < span {
+			mk.Mark(v5)
+		}
+		if v6-mem.HeapBase < span {
+			mk.Mark(v6)
+		}
+		if v7-mem.HeapBase < span {
+			mk.Mark(v7)
+		}
+	}
+	for ; i < len(words); i++ {
+		if v := atomic.LoadUint64(&words[i]); v-mem.HeapBase < span {
+			mk.Mark(v)
+		}
+	}
+}
+
+// scanChunk marks pointer targets in one chunk through the worker's marker,
+// returning bytes scanned.
+func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) uint64 {
+	var scanned uint64
+	r := c.r
+	scan := func(words []uint64) { scanPageWords(words, mk) }
+	for p := c.pageFirst; p < c.pageAfter; p++ {
 		if c.dirtyOnly && !r.PageDirty(p) {
 			continue
 		}
-		wordBase := p * mem.WordsPerPage
-		// The page lock orders this scan against bulk zeroing (free,
-		// decommit) so the sweeper never reads half-zeroed memory.
-		r.LockPage(p)
-		for w := 0; w < mem.WordsPerPage; w++ {
-			v := r.WordAt(wordBase + w)
-			if mem.IsHeapAddr(v) {
-				s.marks.Mark(v)
-			}
+		// The page lock (taken inside ScanPageWords) orders this scan
+		// against bulk zeroing (free, decommit) so the sweeper never reads
+		// half-zeroed memory.
+		if r.ScanPageWords(p, scan) {
+			scanned += mem.PageSize
 		}
-		r.UnlockPage(p)
-		scanned += mem.PageSize
 	}
 	return scanned
 }
 
 // run executes all chunks across the main goroutine plus helpers, returning
-// total bytes scanned. Busy time is accounted as phase-elapsed time times the
-// worker parallelism actually available, so an oversubscribed host does not
-// inflate the CPU-utilisation meter with scheduler preemption.
+// total bytes scanned. Each worker drains its own stripe of the queue, then
+// steals from the next stripes round-robin. Busy time is accounted as
+// phase-elapsed time times the worker parallelism actually available, so an
+// oversubscribed host does not inflate the CPU-utilisation meter with
+// scheduler preemption. Caller holds runMu.
 func (s *Sweeper) run(chunks []chunk) uint64 {
 	if len(chunks) == 0 {
 		return 0
-	}
-	var next atomic.Int64
-	var total atomic.Uint64
-	worker := func() {
-		var scanned uint64
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(chunks) {
-				break
-			}
-			scanned += s.scanChunk(chunks[i])
-		}
-		total.Add(scanned)
 	}
 	workers := s.helpers + 1
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
+	if cap(s.stripes) < workers {
+		s.stripes = make([]stripe, workers)
+	}
+	stripes := s.stripes[:workers]
+	per, rem := len(chunks)/workers, len(chunks)%workers
+	lo := 0
+	for i := range stripes {
+		n := per
+		if i < rem {
+			n++
+		}
+		stripes[i].next.Store(int64(lo))
+		stripes[i].end = int64(lo + n)
+		lo += n
+	}
+	var total atomic.Uint64
+	worker := func(id int) {
+		mk := s.marks.NewMarker()
+		var scanned uint64
+		for off := 0; off < len(stripes); off++ {
+			st := &stripes[(id+off)%len(stripes)]
+			for {
+				i := st.next.Add(1) - 1
+				if i >= st.end {
+					break
+				}
+				scanned += s.scanChunk(chunks[i], mk)
+			}
+		}
+		mk.Flush()
+		total.Add(scanned)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 1; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			worker()
-		}()
+			worker(id)
+		}(i)
 	}
-	worker()
+	worker(0)
 	wg.Wait()
 	s.busyNanos.Add(int64(BusyShare(time.Since(start), workers)))
 	n := total.Load()
@@ -180,12 +280,13 @@ func (s *Sweeper) run(chunks []chunk) uint64 {
 // background work; counting all of it would both overstate CPU utilisation
 // (Figure 12) and over-credit the adjusted wall time.
 func BusyShare(elapsed time.Duration, workers int) time.Duration {
+	procs := runtime.GOMAXPROCS(0) // read once: clamp and halving must agree
 	par := workers
-	if m := runtime.GOMAXPROCS(0); par > m {
-		par = m
+	if par > procs {
+		par = procs
 	}
 	busy := elapsed * time.Duration(par)
-	if runtime.GOMAXPROCS(0) <= 1 {
+	if procs <= 1 {
 		busy /= 2
 	}
 	return busy
@@ -196,6 +297,8 @@ func BusyShare(elapsed time.Duration, workers int) time.Duration {
 // mutators (their stores are atomic, as are our loads) and returns the
 // number of bytes scanned.
 func (s *Sweeper) MarkAll() uint64 {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	return s.run(s.collectChunks(false))
 }
 
@@ -203,6 +306,8 @@ func (s *Sweeper) MarkAll() uint64 {
 // expected to have cleared soft-dirty bits before MarkAll and stopped the
 // world around this call (mostly-concurrent mode).
 func (s *Sweeper) MarkDirty() uint64 {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	return s.run(s.collectChunks(true))
 }
 
