@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot bench bench-all figures examples clean
+.PHONY: all build vet test race race-hot bench bench-free bench-all figures examples clean
 
 all: build vet test
 
@@ -22,12 +22,22 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc
 
 # One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
 # sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepMarkAll|BenchmarkShadowMarker|BenchmarkScanPage' -benchmem -count=1 ./internal/sweep ./internal/shadow ./internal/mem
+
+# Malloc/free hot-path benchmarks: the end-to-end MallocFree comparison
+# (single-threaded and 4-way parallel, baseline vs MineSweeper) plus the
+# lock-free page-map micro-benchmarks behind the free() fast path. The fixed
+# iteration count matches the protocol recorded in EXPERIMENTS.md ("Free
+# fast-path optimisation"): adaptive benchtime would run long enough to
+# change quarantine pressure between variants.
+bench-free:
+	$(GO) test -run '^$$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -benchmem -count=3 .
+	$(GO) test -run '^$$' -bench 'BenchmarkRtree' -benchmem -count=3 ./internal/jemalloc
 
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:

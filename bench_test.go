@@ -120,6 +120,47 @@ func BenchmarkMallocFree64_FFMalloc(b *testing.B) {
 	benchMallocFree(b, minesweeper.SchemeFFMalloc, 64)
 }
 
+// benchMallocFreePar runs the malloc/free pair on several goroutines, each
+// owning its own Thread (as each OS thread owns its tcache and quarantine
+// buffer). On a 1-CPU host this measures contention on the allocator's
+// shared structures — the page map above all — rather than parallel speedup.
+func benchMallocFreePar(b *testing.B, scheme minesweeper.Scheme, size uint64, par int) {
+	p, err := minesweeper.NewProcess(minesweeper.Config{Scheme: scheme})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	b.SetParallelism(par) // goroutines = par * GOMAXPROCS
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th, err := p.NewThread()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer th.Close()
+		for pb.Next() {
+			a, err := th.Malloc(size)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := th.Free(a); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkMallocFree64Par4_Baseline(b *testing.B) {
+	benchMallocFreePar(b, minesweeper.SchemeBaseline, 64, 4)
+}
+
+func BenchmarkMallocFree64Par4_MineSweeper(b *testing.B) {
+	benchMallocFreePar(b, minesweeper.SchemeMineSweeper, 64, 4)
+}
+
 func BenchmarkLoadStore_MineSweeper(b *testing.B) {
 	_, th := benchProcess(b, minesweeper.SchemeMineSweeper)
 	a, err := th.Malloc(4096)

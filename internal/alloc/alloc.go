@@ -46,6 +46,9 @@ type Stats struct {
 	// MetaBytes estimates allocator metadata overhead (out-of-line
 	// structures, shadow maps).
 	MetaBytes uint64
+	// DirtyBytes is committed bytes sitting on the allocator's dirty/free
+	// lists, awaiting reuse or purge (jemalloc's "dirty" pages).
+	DirtyBytes uint64
 	// Mallocs and Frees count API calls that succeeded.
 	Mallocs uint64
 	Frees   uint64
@@ -84,6 +87,15 @@ type Allocation struct {
 	Large bool
 }
 
+// Ref is an opaque substrate-internal reference to the container backing an
+// allocation (a jemalloc extent, a Scudo chunk header). Resolve returns one;
+// FreeResolved accepts it back so the substrate can skip the address→container
+// lookup it already performed. A Ref stays valid for as long as the resolved
+// allocation remains live at the substrate — exactly the guarantee a
+// quarantine provides, since the quarantine owns the allocation until it
+// releases it. A nil Ref is always legal and simply means "re-resolve".
+type Ref any
+
 // Substrate is the allocator-side interface MineSweeper's drop-in layer
 // hooks into. The paper integrates with jemalloc's public API plus small
 // extensions (§3.2) and notes the approach ports to other allocators (§7's
@@ -94,6 +106,14 @@ type Substrate interface {
 	// Lookup returns the live allocation containing addr (for slab-style
 	// substrates) or exactly based at addr.
 	Lookup(addr uint64) (Allocation, bool)
+	// Resolve is Lookup plus an opaque reference that FreeResolved can use
+	// to deallocate without repeating the address→container resolution —
+	// the free() fast path performs exactly one page-map lookup per call.
+	Resolve(addr uint64) (Allocation, Ref, bool)
+	// FreeResolved frees the allocation based at addr using a Ref obtained
+	// from Resolve while the allocation was live. Substrates fall back to
+	// a plain Free when ref is nil.
+	FreeResolved(tid ThreadID, ref Ref, addr uint64) error
 	// DecommitExtent releases the physical pages of a live large
 	// allocation, leaving it allocated (§4.2).
 	DecommitExtent(base uint64) error

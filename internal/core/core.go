@@ -158,10 +158,24 @@ type quiescer interface {
 	EndQuiescent()
 }
 
+// sweepCheckInterval is how many quarantining frees a thread performs between
+// sweep-trigger evaluations. The trigger compares four atomic counters plus
+// the space's RSS (§3.2, §4.2) — cheap, but it was a fifth of the seed's
+// free() fast path. Checking every N frees (and on every buffer flush, and
+// immediately after unmapping a large allocation) bounds the quarantine
+// overshoot to N small frees while removing the loads from the common case.
+const sweepCheckInterval = 16
+
 // threadState is MineSweeper's per-mutator-thread state.
 type threadState struct {
 	tbuf   *quarantine.ThreadBuffer
 	subTid alloc.ThreadID // the substrate's ID for this thread
+	// freesSinceCheck counts quarantining frees since the last
+	// sweep-trigger evaluation. Owner-thread only, like tbuf.
+	freesSinceCheck int
+	// mallocsSincePause likewise amortises the allocation-side pause check
+	// (three atomic loads per Malloc otherwise). Owner-thread only.
+	mallocsSincePause int
 }
 
 // Heap is the MineSweeper-protected heap: alloc.Allocator over a jemalloc
@@ -344,11 +358,26 @@ func (h *Heap) RegisterThread() alloc.ThreadID {
 	return alloc.ThreadID(len(old))
 }
 
-// UnregisterThread implements alloc.Allocator.
+// UnregisterThread implements alloc.Allocator. The dead thread's state is
+// removed from the threads slice (copy-on-write, slot nilled so other IDs
+// keep their positions); its buffer was flushed, so nothing is lost, and the
+// state — including the ThreadBuffer — becomes collectable instead of living
+// in the slice forever.
 func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
-	if ts := h.threadState(tid); ts != nil {
-		ts.tbuf.Flush()
-		h.sub.UnregisterThread(ts.subTid)
+	ts := h.threadState(tid)
+	if ts == nil {
+		return
+	}
+	ts.tbuf.Retire()
+	h.sub.UnregisterThread(ts.subTid)
+	h.threadMu.Lock()
+	defer h.threadMu.Unlock()
+	old := *h.threads.Load()
+	if int(tid) < len(old) && old[tid] == ts {
+		nw := make([]*threadState, len(old))
+		copy(nw, old)
+		nw[tid] = nil
+		h.threads.Store(&nw)
 	}
 }
 
@@ -369,9 +398,21 @@ func (h *Heap) threadState(tid alloc.ThreadID) *threadState {
 }
 
 // Malloc implements alloc.Allocator. If the quarantine has overwhelmed the
-// sweeper, the call briefly pauses until a sweep completes (§5.7).
+// sweeper, the call briefly pauses until a sweep completes (§5.7). The pause
+// check is amortised like the sweep-trigger check: the threshold is an
+// emergency brake, so evaluating it every sweepCheckInterval mallocs delays
+// the brake by at most a handful of small allocations.
 func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
-	h.maybePause(tid)
+	ts := h.threadState(tid)
+	if ts == nil {
+		h.maybePause(tid)
+	} else if ts.mallocsSincePause++; ts.mallocsSincePause >= sweepCheckInterval {
+		ts.mallocsSincePause = 0
+		h.maybePause(tid)
+	}
+	if ts != nil {
+		return h.sub.Malloc(ts.subTid, size)
+	}
 	return h.sub.Malloc(h.subTidFor(tid), size)
 }
 
@@ -412,9 +453,12 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 	}
 }
 
-// Free implements alloc.Allocator: the paper's free() interception.
+// Free implements alloc.Allocator: the paper's free() interception. The
+// allocation is resolved through the substrate exactly once — the returned
+// ref rides in the quarantine entry so the sweep's recycle phase can free
+// without a second page-map lookup.
 func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
-	a, ok := h.sub.Lookup(addr)
+	a, ref, ok := h.sub.Resolve(addr)
 	if !ok || a.Base != addr {
 		if h.q.Contains(addr) {
 			// Double free of a quarantined allocation whose lookup
@@ -439,10 +483,17 @@ func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
 		} else if h.cfg.Zeroing && a.Large {
 			_ = h.space.Zero(a.Base, a.Size)
 		}
-		return h.sub.Free(h.subTidFor(tid), addr)
+		return h.sub.FreeResolved(h.subTidFor(tid), ref, addr)
 	}
 
-	e := h.q.NewEntry(a.Base, a.Size)
+	ts := h.threadState(tid)
+	var e *quarantine.Entry
+	if ts != nil {
+		e = ts.tbuf.NewEntry(a.Base, a.Size) // lock-free in the common case
+	} else {
+		e = h.q.NewEntry(a.Base, a.Size)
+	}
+	e.Ref = ref
 	if !h.q.Insert(e) {
 		return h.doubleFree(addr)
 	}
@@ -460,12 +511,21 @@ func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
 		_ = h.space.Zero(a.Base, a.Size)
 	}
 
-	if ts := h.threadState(tid); ts != nil {
-		ts.tbuf.Push(e)
-	} else {
+	if ts == nil {
 		h.q.Append([]*quarantine.Entry{e})
+		h.maybeTriggerSweep(tid)
+		return nil
 	}
-	h.maybeTriggerSweep(tid)
+	flushed := ts.tbuf.Push(e)
+	ts.freesSinceCheck++
+	// Amortised sweep-trigger check: evaluate on buffer flushes and every
+	// sweepCheckInterval frees rather than on every free. Unmapping a
+	// large allocation moves its bytes to the unmapped account wholesale,
+	// so that trigger (§4.2) is always checked immediately.
+	if flushed || unmapped || ts.freesSinceCheck >= sweepCheckInterval {
+		ts.freesSinceCheck = 0
+		h.maybeTriggerSweep(tid)
+	}
 	return nil
 }
 
@@ -590,6 +650,7 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			tid := h.recycleTids[w]
+			rel := h.q.NewReleaser()
 			var fails []*quarantine.Entry
 			for _, e := range locked[lo:hi] {
 				dangling := false
@@ -606,10 +667,10 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 					// Partial version: counted but freed anyway.
 					h.failedFrees.Add(1)
 				}
-				base := e.Base // e is recycled by Release
-				h.q.Release(e)
+				base, ref := e.Base, e.Ref // e is recycled by Release
+				rel.Release(e)
 				h.releasedFrees.Add(1)
-				if err := h.sub.Free(tid, base); err != nil {
+				if err := h.sub.FreeResolved(tid, ref, base); err != nil {
 					// A program can double-free an allocation whose
 					// first free was already released and recycled;
 					// the second free re-enters quarantine looking
@@ -624,6 +685,7 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 					panic("core: substrate free failed: " + err.Error())
 				}
 			}
+			rel.Flush()
 			failed[w] = fails
 		}(w, lo, hi)
 	}
@@ -633,6 +695,7 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 			h.q.Requeue(fails)
 		}
 	}
+	h.q.Reclaim(locked)
 	h.sw.AddBusyTime(sweep.BusyShare(time.Since(start), workers))
 }
 

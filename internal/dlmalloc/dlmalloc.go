@@ -213,6 +213,20 @@ func (h *Heap) Lookup(addr uint64) (alloc.Allocation, bool) {
 	return alloc.Allocation{Base: addr, Size: size}, true
 }
 
+// Resolve implements alloc.Substrate. dlmalloc keeps its bookkeeping in-band
+// (the chunk header precedes the payload), so there is no out-of-line
+// container to hand back as a ref; Free re-reads the header either way.
+func (h *Heap) Resolve(addr uint64) (alloc.Allocation, alloc.Ref, bool) {
+	a, ok := h.Lookup(addr)
+	return a, nil, ok
+}
+
+// FreeResolved implements alloc.Substrate by forwarding to Free: with in-band
+// metadata the address is the reference.
+func (h *Heap) FreeResolved(tid alloc.ThreadID, _ alloc.Ref, addr uint64) error {
+	return h.Free(tid, addr)
+}
+
 // DecommitExtent implements alloc.Substrate: in-band chunks share pages with
 // neighbours, so page release is unavailable (the drop-in layer copes, as
 // with any allocator lacking the extension).

@@ -16,7 +16,7 @@ type arena struct {
 	mu    sync.Mutex
 	space *mem.AddressSpace
 	hooks ExtentHooks
-	pm    *pageMap
+	pm    *rtree
 
 	// dirty holds free extents by page count. Purged (decommitted)
 	// extents stay listed: their VA is "retained" and can be recommitted,
@@ -35,7 +35,7 @@ func newArena(space *mem.AddressSpace, hooks ExtentHooks, decayCycles uint64) *a
 	return &arena{
 		space:       space,
 		hooks:       hooks,
-		pm:          newPageMap(),
+		pm:          newRtree(),
 		dirty:       make(map[int][]*Extent),
 		decayCycles: decayCycles,
 	}
@@ -81,8 +81,7 @@ func (a *arena) allocExtent(pages int) (*Extent, error) {
 
 // freeExtent places e on the dirty list for later reuse or purging.
 func (a *arena) freeExtent(e *Extent) {
-	e.slab = false
-	e.largeAlloc = false
+	e.state.Store(extStateFree)
 	a.mu.Lock()
 	e.dirtyStamp = a.now
 	a.dirty[e.pages()] = append(a.dirty[e.pages()], e)

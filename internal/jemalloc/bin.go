@@ -24,9 +24,13 @@ type bin struct {
 	slabBytes *atomic.Int64
 }
 
-// allocBatch fills out[:n] with up to n region addresses, returning how many
-// were produced. Batching amortises the bin lock across a whole tcache fill.
-func (b *bin) allocBatch(a *arena, out []uint64) (int, error) {
+// allocBatch fills out[:n] with up to n region addresses — and exts/regs,
+// when non-nil, with each region's owning extent and region index — returning
+// how many were produced. Batching amortises the bin lock across a whole
+// tcache fill, and handing back the extents and indices lets the tcache
+// remember them so later flushes need neither page-map lookups nor
+// region-size divisions.
+func (b *bin) allocBatch(a *arena, out []uint64, exts []*Extent, regs []int32) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	got := 0
@@ -50,7 +54,14 @@ func (b *bin) allocBatch(a *arena, out []uint64) (int, error) {
 			}
 		}
 		for got < len(out) && b.current.nfree > 0 {
-			out[got] = b.current.popRegion()
+			addr, idx := b.current.popRegion()
+			out[got] = addr
+			if exts != nil {
+				exts[got] = b.current
+			}
+			if regs != nil {
+				regs[got] = int32(idx)
+			}
 			got++
 		}
 	}
@@ -68,6 +79,12 @@ func (b *bin) freeRegion(a *arena, e *Extent, idx int) error {
 	}
 	wasFull := e.nfree == 0
 	e.pushRegion(idx)
+	// The region may arrive from a tcache drain with its residency bit
+	// still set; clear it now that the slab owns the region again. A no-op
+	// for regions that were never cached.
+	if e.cachemap != nil {
+		e.uncacheRegion(idx)
+	}
 	var release *Extent
 	if e != b.current {
 		if e.nfree == e.nregs {

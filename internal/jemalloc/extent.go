@@ -2,7 +2,6 @@ package jemalloc
 
 import (
 	"math/bits"
-	"sync"
 	"sync/atomic"
 
 	"minesweeper/internal/mem"
@@ -35,33 +34,67 @@ func (DefaultHooks) Decommit(space *mem.AddressSpace, base, size uint64) error {
 	return space.Decommit(base, size)
 }
 
+// Extent life-cycle states. An extent is created free, becomes a slab or a
+// large allocation, and returns to free on the arena's dirty lists — over and
+// over, since extent metadata is never destroyed. The state word is the
+// atomic publication point for reuse: init* writes every descriptive field
+// first and stores the state last, so a lock-free reader that observes the
+// state also observes the fields behind it (and a reader holding a stale
+// state reads bounded, older-incarnation values that its caller re-validates,
+// exactly as with the seed's RWMutex map, which also never protected the
+// extent's own fields).
+const (
+	extStateFree uint32 = iota // on a dirty list, or freshly created
+	extStateSlab
+	extStateLarge
+)
+
 // Extent is a contiguous run of pages managed by the arena: either a slab
 // (carved into equal small regions) or a single large allocation. Extent
 // metadata lives out of line in Go memory, never in the simulated address
 // space — the property the paper relies on for metadata safety.
+//
+// The free() fast path reads extents through the lock-free page map, so the
+// fields that path touches — state, class, regSize and the two bitmaps — are
+// atomic. The bitmap slice headers are written once (first initSlab) and
+// never reallocated: they are sized for the smallest class the extent could
+// ever host, so every later initSlab fits in place and stale readers can
+// never index out of bounds.
 type Extent struct {
 	region *mem.Region
 	base   uint64
-	size   uint64 // bytes, page multiple
+	size   uint64 // bytes, page multiple; immutable after creation
 
-	// Slab state. For large extents slab is false and the fields below it
-	// are unused.
-	slab    bool
-	class   int
-	regSize uint64
-	nregs   int
+	state   atomic.Uint32 // extStateFree / extStateSlab / extStateLarge
+	class   atomic.Int32  // slab size class; stale across reuse, gated by state
+	regSize atomic.Uint64 // slab region size; never reset to zero once set
+
+	nregs int // slab region count; owning bin's lock
+	nfree int // free region count; owning bin's lock
+	words int // freemap words in use for the current class; owning bin's lock
+
 	// freemap words (bit set = region free) are written only under the
 	// owning bin's lock but read lock-free by Lookup/UsableSize (the
 	// quarantine's validation path), so all accesses are atomic.
 	freemap []uint64
-	nfree   int
+	// cachemap words (bit set = region is sitting in some thread's tcache)
+	// give free() an O(1) double-free membership check, replacing the
+	// seed's linear scan of the tcache stack. Bits are set and cleared by
+	// the cache's owning thread but read by any thread freeing into the
+	// slab, so all accesses are atomic. Unlike the seed's check — which
+	// only saw the freeing thread's own cache — the shared bitmap also
+	// catches a double free whose first free is cached on another thread.
+	cachemap []uint64
 
-	// Large-allocation state.
-	largeAlloc bool // a live large allocation occupies this extent
-
-	committed  bool   // physical backing present
-	dirtyStamp uint64 // virtual time when placed on the dirty list
+	committed  bool   // physical backing present; arena lock or exclusive owner
+	dirtyStamp uint64 // virtual time when placed on the dirty list; arena lock
 }
+
+// isSlab reports whether the extent currently backs a slab.
+func (e *Extent) isSlab() bool { return e.state.Load() == extStateSlab }
+
+// isLarge reports whether a live large allocation occupies the extent.
+func (e *Extent) isLarge() bool { return e.state.Load() == extStateLarge }
 
 // Base returns the extent's first address.
 func (e *Extent) Base() uint64 { return e.base }
@@ -72,49 +105,55 @@ func (e *Extent) Size() uint64 { return e.size }
 // pages returns the extent's size in pages.
 func (e *Extent) pages() int { return int(e.size / mem.PageSize) }
 
-// initSlab configures the extent as an all-free slab of the given class.
+// initSlab configures the extent as an all-free slab of the given class. The
+// caller holds the owning bin's lock. Field writes precede the state store,
+// which publishes them to lock-free readers.
 func (e *Extent) initSlab(class int) {
-	e.slab = true
-	e.largeAlloc = false
-	e.class = class
-	e.regSize = ClassSize(class)
-	e.nregs = int(e.size / e.regSize)
-	words := (e.nregs + 63) / 64
-	if cap(e.freemap) >= words {
-		e.freemap = e.freemap[:words]
-	} else {
-		e.freemap = make([]uint64, words)
+	e.class.Store(int32(class))
+	e.regSize.Store(ClassSize(class))
+	e.nregs = int(e.size / ClassSize(class))
+	e.words = (e.nregs + 63) / 64
+	if e.freemap == nil {
+		// First time as a slab: size the bitmaps for the smallest class
+		// the extent could ever host, once and for all. The slice
+		// headers stay immutable from here on, so stale lock-free
+		// readers can never observe a torn or undersized header.
+		maxWords := int(e.size/ClassSize(0)+63) / 64
+		e.freemap = make([]uint64, maxWords)
+		e.cachemap = make([]uint64, maxWords)
 	}
-	for i := range e.freemap {
+	for i := 0; i < e.words; i++ {
 		atomic.StoreUint64(&e.freemap[i], ^uint64(0))
+		atomic.StoreUint64(&e.cachemap[i], 0)
 	}
 	// Clear bits past nregs so popcounts stay honest.
 	if rem := e.nregs % 64; rem != 0 {
-		atomic.StoreUint64(&e.freemap[words-1], (1<<rem)-1)
+		atomic.StoreUint64(&e.freemap[e.words-1], (1<<rem)-1)
 	}
 	e.nfree = e.nregs
+	e.state.Store(extStateSlab)
 }
 
-// initLarge configures the extent as a single large allocation.
+// initLarge configures the extent as a single large allocation. Slab
+// descriptors (class, regSize, bitmaps) are deliberately left as the previous
+// slab incarnation wrote them: a reader holding a stale slab state must keep
+// seeing nonzero, in-bounds values.
 func (e *Extent) initLarge() {
-	e.slab = false
-	e.largeAlloc = true
-	e.class = -1
-	e.regSize = 0
-	e.nregs = 0
-	e.nfree = 0
+	e.state.Store(extStateLarge)
 }
 
-// popRegion allocates the lowest-index free region and returns its address.
-// The caller must hold the owning bin's lock and have checked nfree > 0.
-func (e *Extent) popRegion() uint64 {
-	for w := range e.freemap {
+// popRegion allocates the lowest-index free region and returns its address
+// and region index. The caller must hold the owning bin's lock and have
+// checked nfree > 0.
+func (e *Extent) popRegion() (uint64, int) {
+	for w := 0; w < e.words; w++ {
 		word := atomic.LoadUint64(&e.freemap[w])
 		if word != 0 {
 			bit := bits.TrailingZeros64(word)
 			atomic.StoreUint64(&e.freemap[w], word&^(1<<bit))
 			e.nfree--
-			return e.base + uint64(w*64+bit)*e.regSize
+			idx := w*64 + bit
+			return e.base + uint64(idx)*e.regSize.Load(), idx
 		}
 	}
 	panic("jemalloc: popRegion on full slab")
@@ -122,10 +161,12 @@ func (e *Extent) popRegion() uint64 {
 
 // regionIndex returns the region index containing addr, which must lie in
 // the extent.
-func (e *Extent) regionIndex(addr uint64) int { return int((addr - e.base) / e.regSize) }
+func (e *Extent) regionIndex(addr uint64) int {
+	return int((addr - e.base) / e.regSize.Load())
+}
 
 // regionBase returns the base address of region i.
-func (e *Extent) regionBase(i int) uint64 { return e.base + uint64(i)*e.regSize }
+func (e *Extent) regionBase(i int) uint64 { return e.base + uint64(i)*e.regSize.Load() }
 
 // regionFree reports whether region i is free.
 func (e *Extent) regionFree(i int) bool {
@@ -139,46 +180,17 @@ func (e *Extent) pushRegion(i int) {
 	e.nfree++
 }
 
-// pageMap locates the extent owning any page, so Free can go from an address
-// to its extent. It is the analogue of jemalloc's rtree.
-type pageMap struct {
-	mu sync.RWMutex
-	m  map[uint64]*Extent // page number -> extent
+// regionCached reports whether region i currently sits in a thread cache.
+func (e *Extent) regionCached(i int) bool {
+	return atomic.LoadUint64(&e.cachemap[i/64])&(1<<(i%64)) != 0
 }
 
-func newPageMap() *pageMap { return &pageMap{m: make(map[uint64]*Extent)} }
-
-// insert registers every page of e.
-func (pm *pageMap) insert(e *Extent) {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	first := e.base >> mem.PageShift
-	for p := 0; p < e.pages(); p++ {
-		pm.m[first+uint64(p)] = e
-	}
+// cacheRegion marks region i as tcache-resident.
+func (e *Extent) cacheRegion(i int) {
+	atomic.OrUint64(&e.cachemap[i/64], 1<<(i%64))
 }
 
-// remove deregisters every page of e.
-func (pm *pageMap) remove(e *Extent) {
-	pm.mu.Lock()
-	defer pm.mu.Unlock()
-	first := e.base >> mem.PageShift
-	for p := 0; p < e.pages(); p++ {
-		delete(pm.m, first+uint64(p))
-	}
-}
-
-// lookup returns the extent owning addr's page, or nil.
-func (pm *pageMap) lookup(addr uint64) *Extent {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	return pm.m[addr>>mem.PageShift]
-}
-
-// footprint estimates the page map's metadata bytes.
-func (pm *pageMap) footprint() uint64 {
-	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	// map entry ~ 2 words key/value plus bucket overhead.
-	return uint64(len(pm.m)) * 24
+// uncacheRegion clears region i's tcache-residency mark.
+func (e *Extent) uncacheRegion(i int) {
+	atomic.AndUint64(&e.cachemap[i/64], ^(uint64(1) << (i % 64)))
 }

@@ -98,19 +98,28 @@ func (h *Heap) RegisterThread() alloc.ThreadID {
 	return alloc.ThreadID(len(old))
 }
 
-// UnregisterThread flushes the thread's caches back to the shared bins.
+// UnregisterThread flushes the thread's caches back to the shared bins and
+// retires the cache: the slot is nilled out (copy-on-write, like
+// RegisterThread) so a dead thread's cache does not pin its regions forever.
 func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
 	tc := h.tcacheFor(tid)
 	if tc == nil {
 		return
 	}
 	for c := range tc.bins {
-		for _, addr := range tc.drainAll(c) {
-			e := h.arena.pm.lookup(addr)
-			if e != nil {
-				_ = h.bins[c].freeRegion(h.arena, e, e.regionIndex(addr))
-			}
+		for _, it := range tc.drainAll(c) {
+			_ = h.bins[c].freeRegion(h.arena, it.ext, int(it.reg))
 		}
+	}
+	h.tcMu.Lock()
+	defer h.tcMu.Unlock()
+	old := *h.tcaches.Load()
+	if int(tid) < len(old) && old[tid] == tc {
+		nw := make([]*tcache, len(old))
+		copy(nw, old)
+		nw[tid] = nil
+		h.tcaches.Store(&nw)
+		h.nthreads.Add(-1)
 	}
 }
 
@@ -177,15 +186,29 @@ func (h *Heap) smallSlow(tc *tcache, class int) (uint64, error) {
 			want = 1
 		}
 	}
-	buf := make([]uint64, want)
-	n, err := b.allocBatch(h.arena, buf)
+	var buf []uint64
+	var exts []*Extent
+	var regs []int32
+	if tc != nil {
+		if cap(tc.fillAddrs) < want {
+			tc.fillAddrs = make([]uint64, want)
+			tc.fillExts = make([]*Extent, want)
+			tc.fillRegs = make([]int32, want)
+		}
+		buf, exts, regs = tc.fillAddrs[:want], tc.fillExts[:want], tc.fillRegs[:want]
+	} else {
+		buf = make([]uint64, want)
+		exts = make([]*Extent, want)
+		regs = make([]int32, want)
+	}
+	n, err := b.allocBatch(h.arena, buf, exts, regs)
 	if err != nil || n == 0 {
 		return 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
 	}
 	addr := buf[0]
 	if tc != nil {
-		for _, a := range buf[1:n] {
-			tc.push(class, a)
+		for i, a := range buf[1:n] {
+			tc.push(class, a, exts[1+i], int(regs[1+i]))
 		}
 	}
 	return addr, nil
@@ -197,10 +220,27 @@ func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
 	if e == nil {
 		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
 	}
-	if e.slab {
+	return h.freeInExtent(tid, e, addr)
+}
+
+// FreeResolved implements alloc.Substrate: free via a Resolve-obtained extent
+// reference, skipping the page-map lookup. The page map never unmaps a page
+// once an extent covers it, so a ref resolved while the allocation was live
+// names exactly the extent a fresh lookup would find.
+func (h *Heap) FreeResolved(tid alloc.ThreadID, ref alloc.Ref, addr uint64) error {
+	e, _ := ref.(*Extent)
+	if e == nil {
+		return h.Free(tid, addr)
+	}
+	return h.freeInExtent(tid, e, addr)
+}
+
+// freeInExtent frees addr, known to lie in extent e.
+func (h *Heap) freeInExtent(tid alloc.ThreadID, e *Extent, addr uint64) error {
+	if e.isSlab() {
 		return h.freeSmall(tid, e, addr)
 	}
-	if !e.largeAlloc || addr != e.base {
+	if !e.isLarge() || addr != e.base {
 		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
 	}
 	usable := e.size
@@ -216,17 +256,20 @@ func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
 	if e.regionBase(idx) != addr {
 		return fmt.Errorf("%w: %#x is interior", alloc.ErrInvalidFree, addr)
 	}
-	class := e.class
+	class := int(e.class.Load())
 	usable := ClassSize(class)
 	tc := h.tcacheFor(tid)
 	if tc != nil {
-		if tc.contains(class, addr) {
+		// O(1) double-free checks: one atomic bit test against every
+		// thread's cache (the extent's cachemap), one against the slab
+		// freemap.
+		if e.regionCached(idx) {
 			return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
 		}
 		if e.regionFree(idx) {
 			return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
 		}
-		if full := tc.push(class, addr); full {
+		if full := tc.push(class, addr, e, idx); full {
 			h.flushTbin(tc, class)
 		}
 	} else {
@@ -239,15 +282,12 @@ func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
 	return nil
 }
 
-// flushTbin returns the oldest half of a tcache bin to the shared bin.
+// flushTbin returns the oldest half of a tcache bin to the shared bin. The
+// cached items carry their extents, so no page-map lookups are needed.
 func (h *Heap) flushTbin(tc *tcache, class int) {
 	b := &h.bins[class]
-	for _, addr := range tc.drainHalf(class) {
-		e := h.arena.pm.lookup(addr)
-		if e == nil {
-			continue
-		}
-		_ = b.freeRegion(h.arena, e, e.regionIndex(addr))
+	for _, it := range tc.drainHalf(class) {
+		_ = b.freeRegion(h.arena, it.ext, int(it.reg))
 	}
 }
 
@@ -264,21 +304,29 @@ func (h *Heap) UsableSize(addr uint64) uint64 {
 // MineSweeper's free-interception layer: the quarantine validates and sizes
 // incoming frees through it.
 func (h *Heap) Lookup(addr uint64) (alloc.Allocation, bool) {
+	a, _, ok := h.Resolve(addr)
+	return a, ok
+}
+
+// Resolve implements alloc.Substrate: Lookup plus the owning extent as an
+// opaque ref, so the caller's eventual FreeResolved skips the second
+// page-map lookup the seed performed on every intercepted free().
+func (h *Heap) Resolve(addr uint64) (alloc.Allocation, alloc.Ref, bool) {
 	e := h.arena.pm.lookup(addr)
 	if e == nil {
-		return alloc.Allocation{}, false
+		return alloc.Allocation{}, nil, false
 	}
-	if e.slab {
+	if e.isSlab() {
 		idx := e.regionIndex(addr)
 		if e.regionFree(idx) {
-			return alloc.Allocation{}, false
+			return alloc.Allocation{}, nil, false
 		}
-		return alloc.Allocation{Base: e.regionBase(idx), Size: e.regSize}, true
+		return alloc.Allocation{Base: e.regionBase(idx), Size: e.regSize.Load()}, e, true
 	}
-	if !e.largeAlloc {
-		return alloc.Allocation{}, false
+	if !e.isLarge() {
+		return alloc.Allocation{}, nil, false
 	}
-	return alloc.Allocation{Base: e.base, Size: e.size, Large: true}, true
+	return alloc.Allocation{Base: e.base, Size: e.size, Large: true}, e, true
 }
 
 // DecommitExtent releases the physical pages of a live large allocation via
@@ -287,7 +335,7 @@ func (h *Heap) Lookup(addr uint64) (alloc.Allocation, bool) {
 // the hooks when the arena eventually reuses it.
 func (h *Heap) DecommitExtent(base uint64) error {
 	e := h.arena.pm.lookup(base)
-	if e == nil || !e.largeAlloc || e.base != base {
+	if e == nil || !e.isLarge() || e.base != base {
 		return fmt.Errorf("%w: %#x is not a live large allocation", alloc.ErrInvalidFree, base)
 	}
 	h.arena.mu.Lock()
@@ -316,14 +364,14 @@ func (h *Heap) AllocatedBytes() uint64 { return uint64(h.allocated.Load()) }
 // Stats implements alloc.Allocator.
 func (h *Heap) Stats() alloc.Stats {
 	dirtyBytes, ndirty := h.arena.dirtyStats()
-	_ = dirtyBytes
 	return alloc.Stats{
-		Allocated: uint64(h.allocated.Load()),
-		Active:    uint64(h.slabBytes.Load() + h.largeLive.Load()),
-		MetaBytes: h.arena.pm.footprint() + uint64(ndirty)*128,
-		Mallocs:   h.mallocs.Load(),
-		Frees:     h.frees.Load(),
-		Purges:    h.arena.purges.Load(),
+		Allocated:  uint64(h.allocated.Load()),
+		Active:     uint64(h.slabBytes.Load() + h.largeLive.Load()),
+		DirtyBytes: dirtyBytes,
+		MetaBytes:  h.arena.pm.footprint() + uint64(ndirty)*128,
+		Mallocs:    h.mallocs.Load(),
+		Frees:      h.frees.Load(),
+		Purges:     h.arena.purges.Load(),
 	}
 }
 

@@ -1,0 +1,296 @@
+package jemalloc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"minesweeper/internal/mem"
+)
+
+// fakeExtent builds a metadata-only extent covering pages pages at the given
+// heap page number. The rtree never dereferences region or slab state, so
+// this is all an oracle test needs.
+func fakeExtent(page uint64, pages int) *Extent {
+	return &Extent{
+		base: mem.HeapBase + page*mem.PageSize,
+		size: uint64(pages) * mem.PageSize,
+	}
+}
+
+// TestRtreeOracle drives the radix tree and a plain map through the same
+// randomized sequence of multi-page range inserts, removes and lookups and
+// requires identical answers throughout — the seed pageMap's semantics,
+// reproduced exactly.
+func TestRtreeOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51EE7))
+	rt := newRtree()
+	oracle := make(map[uint64]*Extent) // page number (heap-relative) -> extent
+
+	const maxPage = 1 << 20 // exercise multiple leaves (2^14 pages each)
+	var live []*Extent
+	check := func(addr uint64) {
+		t.Helper()
+		got := rt.lookup(addr)
+		var want *Extent
+		if addr >= mem.HeapBase && addr < mem.HeapLimit {
+			want = oracle[(addr-mem.HeapBase)>>mem.PageShift]
+		}
+		if got != want {
+			t.Fatalf("lookup(%#x) = %p, oracle %p", addr, got, want)
+		}
+	}
+
+	randAddr := func() uint64 {
+		page := uint64(rng.Intn(maxPage + 100))
+		return mem.HeapBase + page*mem.PageSize + uint64(rng.Intn(mem.PageSize))
+	}
+
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert a fresh multi-page extent
+			pages := 1 + rng.Intn(300)
+			if rng.Intn(20) == 0 {
+				pages = 1 + rng.Intn(3*rtreeLeafSize) // span leaves
+			}
+			page := uint64(rng.Intn(maxPage))
+			e := fakeExtent(page, pages)
+			rt.insert(e)
+			for p := uint64(0); p < uint64(pages); p++ {
+				oracle[page+p] = e
+			}
+			live = append(live, e)
+		case op < 6 && len(live) > 0: // remove a previously inserted extent
+			i := rng.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			rt.remove(e)
+			first := (e.base - mem.HeapBase) >> mem.PageShift
+			for p := uint64(0); p < uint64(e.pages()); p++ {
+				delete(oracle, first+p)
+			}
+		default: // lookups: random addresses, extent edges, out-of-range
+			check(randAddr())
+			if len(live) > 0 {
+				e := live[rng.Intn(len(live))]
+				check(e.base)
+				check(e.base + e.size - 1)
+				check(e.base + e.size) // one past the end
+				if e.base > mem.HeapBase {
+					check(e.base - 1)
+				}
+			}
+			check(mem.HeapBase - 1)
+			check(mem.HeapLimit)
+			check(uint64(rng.Int63())) // arbitrary word, as the sweeper probes
+		}
+	}
+}
+
+func TestRtreeOutOfRangeLookups(t *testing.T) {
+	rt := newRtree()
+	e := fakeExtent(0, 4)
+	rt.insert(e)
+	for _, addr := range []uint64{
+		0, 1, mem.GlobalsBase, mem.StackBase,
+		mem.HeapBase - 1, mem.HeapLimit, mem.HeapLimit + mem.PageSize,
+		^uint64(0),
+	} {
+		if got := rt.lookup(addr); got != nil {
+			t.Errorf("lookup(%#x) = %p, want nil", addr, got)
+		}
+	}
+	if got := rt.lookup(mem.HeapBase); got != e {
+		t.Errorf("lookup(HeapBase) = %p, want %p", got, e)
+	}
+}
+
+func TestRtreeFootprintExact(t *testing.T) {
+	rt := newRtree()
+	root := uint64(rtreeRootSize) * 8
+	if got := rt.footprint(); got != root {
+		t.Fatalf("empty footprint = %d, want %d", got, root)
+	}
+	// Two extents in the same leaf: one leaf's worth of metadata.
+	rt.insert(fakeExtent(0, 1))
+	rt.insert(fakeExtent(10, 4))
+	leaf := uint64(rtreeLeafSize) * 8
+	if got := rt.footprint(); got != root+leaf {
+		t.Fatalf("one-leaf footprint = %d, want %d", got, root+leaf)
+	}
+	// An extent spanning a leaf boundary: one more leaf.
+	rt.insert(fakeExtent(rtreeLeafSize-2, 4))
+	if got := rt.footprint(); got != root+2*leaf {
+		t.Fatalf("two-leaf footprint = %d, want %d", got, root+2*leaf)
+	}
+	// Removal retains leaves (like jemalloc's rtree, they are never torn
+	// down); footprint is unchanged.
+	rt.remove(fakeExtent(0, 1))
+	if got := rt.footprint(); got != root+2*leaf {
+		t.Fatalf("post-remove footprint = %d, want %d", got, root+2*leaf)
+	}
+}
+
+// BenchmarkRtreeLookup measures the page-map hit path free() rides: two
+// dependent atomic loads plus index arithmetic.
+func BenchmarkRtreeLookup(b *testing.B) {
+	rt := newRtree()
+	const n = 1024
+	addrs := make([]uint64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range addrs {
+		e := fakeExtent(uint64(rng.Intn(1<<18)), 1+rng.Intn(8))
+		rt.insert(e)
+		addrs[i] = e.base + uint64(rng.Int63n(int64(e.size)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rt.lookup(addrs[i%n]) == nil {
+			b.Fatal("lost mapping")
+		}
+	}
+}
+
+// BenchmarkRtreeLookupParallel is the same hit path under goroutine
+// contention — all readers, which the lock-free tree serves without any
+// shared writes (the seed's RWMutex bounced a cache line per lookup).
+func BenchmarkRtreeLookupParallel(b *testing.B) {
+	rt := newRtree()
+	const n = 1024
+	addrs := make([]uint64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range addrs {
+		e := fakeExtent(uint64(rng.Intn(1<<18)), 1+rng.Intn(8))
+		rt.insert(e)
+		addrs[i] = e.base + uint64(rng.Int63n(int64(e.size)))
+	}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if rt.lookup(addrs[i%n]) == nil {
+				b.Fatal("lost mapping")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRtreeMiss measures probes of unmapped in-range and out-of-range
+// addresses — what the sweeper pays per non-pointer word it tests.
+func BenchmarkRtreeMiss(b *testing.B) {
+	rt := newRtree()
+	rt.insert(fakeExtent(0, 4))
+	probes := [...]uint64{
+		mem.HeapBase + 64*mem.PageSize, // in range, unmapped page
+		mem.GlobalsBase,                // below the heap
+		^uint64(0) >> 1,                // wild word
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rt.lookup(probes[i%len(probes)]) != nil {
+			b.Fatal("phantom mapping")
+		}
+	}
+}
+
+// TestConcurrentMallocFreeLookup hammers the allocator from several
+// goroutines — small and large mallocs and frees churning extents in and out
+// of the arena's dirty lists — while other goroutines resolve lookups of live,
+// freed and arbitrary addresses through the lock-free page map. Run with
+// -race (the race-hot make target) this is the radix tree's publication-
+// safety proof; without it, a sanity check that concurrent lookups never
+// observe torn state.
+func TestConcurrentMallocFreeLookup(t *testing.T) {
+	h := New(mem.NewAddressSpace(), DefaultConfig())
+	const (
+		mutators = 4
+		ops      = 4000
+	)
+	var mutWg, hamWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Lookup hammer: probes addresses across the whole heap span the
+	// mutators work in, plus wild words.
+	for g := 0; g < 2; g++ {
+		hamWg.Add(1)
+		go func(seed int64) {
+			defer hamWg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 256; i++ {
+					addr := mem.HeapBase + uint64(rng.Int63n(1<<30))
+					if a, ref, ok := h.Resolve(addr); ok {
+						if ref == nil {
+							t.Error("Resolve returned live allocation with nil ref")
+							return
+						}
+						if addr < a.Base || addr >= a.Base+a.Size {
+							t.Errorf("Resolve(%#x) returned non-containing allocation [%#x,%#x)", addr, a.Base, a.Base+a.Size)
+							return
+						}
+					}
+					_ = h.UsableSize(addr)
+				}
+				_ = h.Stats() // exercises footprint concurrently
+			}
+		}(int64(g) + 7)
+	}
+
+	for g := 0; g < mutators; g++ {
+		mutWg.Add(1)
+		go func(seed int64) {
+			defer mutWg.Done()
+			tid := h.RegisterThread()
+			defer h.UnregisterThread(tid)
+			rng := rand.New(rand.NewSource(seed))
+			livePtr := make([]uint64, 0, 128)
+			for i := 0; i < ops; i++ {
+				if len(livePtr) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(livePtr))
+					addr := livePtr[j]
+					livePtr[j] = livePtr[len(livePtr)-1]
+					livePtr = livePtr[:len(livePtr)-1]
+					if err := h.Free(tid, addr); err != nil {
+						t.Errorf("Free(%#x): %v", addr, err)
+						return
+					}
+					continue
+				}
+				var size uint64
+				switch rng.Intn(10) {
+				case 0: // large: extent churn through the dirty lists
+					size = uint64(1+rng.Intn(8)) * mem.PageSize
+				case 1:
+					size = SmallMax // whole-slab churn
+				default:
+					size = uint64(1 + rng.Intn(512))
+				}
+				addr, err := h.Malloc(tid, size)
+				if err != nil {
+					t.Errorf("Malloc(%d): %v", size, err)
+					return
+				}
+				livePtr = append(livePtr, addr)
+			}
+			for _, addr := range livePtr {
+				if err := h.Free(tid, addr); err != nil {
+					t.Errorf("final Free(%#x): %v", addr, err)
+					return
+				}
+			}
+		}(int64(g) + 101)
+	}
+
+	// Wait for the mutators, then stop the lookup hammers.
+	mutWg.Wait()
+	close(stop)
+	hamWg.Wait()
+}

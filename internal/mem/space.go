@@ -79,27 +79,50 @@ type AddressSpace struct {
 	// backing pools recycle word-slice backings by size so that extent
 	// commit/decommit cycles (quarantine unmapping, purging) do not churn
 	// the host garbage collector — the real system's counterpart is the
-	// kernel's free-page pool.
-	backing sync.Map // words count -> *sync.Pool of *[]uint64
+	// kernel's free-page pool. A plain free stack per size rather than a
+	// sync.Pool: the pool is emptied at every GC cycle, so each
+	// purge-after-sweep decommit/recommit round trip reallocated the
+	// heap's whole backing, and those large zeroed allocations in turn
+	// drove the next GC cycle.
+	backingMu sync.Mutex
+	backing   map[int][][]uint64 // words count -> free backings
+
+	// backingWords bounds the pool: total retained words across all sizes.
+	backingWords int
 }
+
+// maxBackingWords caps retained backing at 512 MiB worth of words; beyond
+// that, dropped backings are left to the garbage collector.
+const maxBackingWords = 512 << 20 / 8
 
 // getBacking returns a zeroed backing of the given word count, reusing a
 // pooled one when available.
 func (as *AddressSpace) getBacking(words int) []uint64 {
-	if p, ok := as.backing.Load(words); ok {
-		if v := p.(*sync.Pool).Get(); v != nil {
-			s := *(v.(*[]uint64))
-			clear(s)
-			return s
-		}
+	as.backingMu.Lock()
+	if list := as.backing[words]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		as.backing[words] = list[:len(list)-1]
+		as.backingWords -= words
+		as.backingMu.Unlock()
+		clear(s)
+		return s
 	}
+	as.backingMu.Unlock()
 	return make([]uint64, words)
 }
 
 // putBacking returns a dropped backing to the pool.
 func (as *AddressSpace) putBacking(s []uint64) {
-	p, _ := as.backing.LoadOrStore(len(s), &sync.Pool{})
-	p.(*sync.Pool).Put(&s)
+	as.backingMu.Lock()
+	if as.backingWords+len(s) <= maxBackingWords {
+		if as.backing == nil {
+			as.backing = make(map[int][][]uint64)
+		}
+		as.backing[len(s)] = append(as.backing[len(s)], s)
+		as.backingWords += len(s)
+	}
+	as.backingMu.Unlock()
 }
 
 // NewAddressSpace returns an empty address space.

@@ -35,23 +35,146 @@ type Entry struct {
 	// Epoch is the sweep epoch in which the entry was quarantined
 	// (diagnostic).
 	Epoch uint64
+	// Ref is the substrate's opaque container reference (alloc.Ref),
+	// captured when free() resolved the allocation. The sweep's recycle
+	// phase frees through it, so the allocation's address is resolved
+	// exactly once over its whole quarantine lifetime. The quarantine owns
+	// the allocation until Release, which is precisely the window the
+	// substrate guarantees the ref stays valid for.
+	Ref any
+
+	next *Entry // intrusive freelist link, owned by the quarantine
 }
 
 const setShards = 64
 
+// shard is one slice of the membership set: an open-addressing hash table
+// with linear probing and backward-shift deletion, keyed by Entry.Base.
+// free() pays one Insert and the sweep one Release per allocation, so the
+// table avoids the runtime map's hashing and bucket machinery — on the
+// malloc/free microbenchmark the generic map was ~20% of total CPU.
+//
+// Keys live in their own pointer-free array so a probe chain walks one cache
+// line of uint64s instead of dereferencing an *Entry per slot; the entry
+// pointers sit in a parallel array touched only on a confirmed hit. Max load
+// is 50%, keeping unsuccessful probes (what every Insert of a fresh base
+// pays) near two slots.
 type shard struct {
-	mu sync.Mutex
-	m  map[uint64]*Entry
+	mu   sync.Mutex
+	keys []uint64 // power-of-two; 0 = empty slot (0 is never a heap base)
+	ents []*Entry // parallel to keys
+	n    int      // occupied slots
+}
+
+const shardMinSize = 64
+
+// mix is the multiplicative hash shared by shard selection (top bits) and
+// slot selection (folded bits). Allocation bases are at least 16-byte
+// aligned, so the low bits are dropped first.
+func mix(base uint64) uint64 {
+	return (base >> 4) * 0x9E3779B97F4A7C15
+}
+
+func (s *shard) slot(base uint64) int {
+	h := mix(base)
+	return int((h ^ h>>29) & uint64(len(s.keys)-1))
+}
+
+// lookup returns the index holding base, or -1 and the insertion point.
+func (s *shard) lookup(base uint64) (at, free int) {
+	i := s.slot(base)
+	for {
+		k := s.keys[i]
+		if k == 0 {
+			return -1, i
+		}
+		if k == base {
+			return i, -1
+		}
+		i = (i + 1) & (len(s.keys) - 1)
+	}
+}
+
+func (s *shard) insert(e *Entry) bool {
+	if s.keys == nil {
+		s.keys = make([]uint64, shardMinSize)
+		s.ents = make([]*Entry, shardMinSize)
+	} else if 2*(s.n+1) > len(s.keys) {
+		s.grow()
+	}
+	at, free := s.lookup(e.Base)
+	if at >= 0 {
+		return false
+	}
+	s.keys[free] = e.Base
+	s.ents[free] = e
+	s.n++
+	return true
+}
+
+func (s *shard) remove(base uint64) {
+	at, _ := s.lookup(base)
+	if at < 0 {
+		return
+	}
+	// Backward-shift deletion: slide the probe chain left so no tombstones
+	// accumulate and lookups stay short at any load factor. i is the
+	// current vacancy; j scans the rest of the chain.
+	mask := len(s.keys) - 1
+	i := at
+	for j := at; ; {
+		j = (j + 1) & mask
+		k := s.keys[j]
+		if k == 0 {
+			break
+		}
+		// The element at j may fill the vacancy iff its home slot is not
+		// inside (i, j].
+		if home := s.slot(k); (j-home)&mask >= (j-i)&mask {
+			s.keys[i] = k
+			s.ents[i] = s.ents[j]
+			i = j
+		}
+	}
+	s.keys[i] = 0
+	s.ents[i] = nil
+	s.n--
+}
+
+func (s *shard) grow() {
+	oldKeys, oldEnts := s.keys, s.ents
+	s.keys = make([]uint64, 2*len(oldKeys))
+	s.ents = make([]*Entry, 2*len(oldEnts))
+	for i, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		_, free := s.lookup(k)
+		s.keys[free] = k
+		s.ents[free] = oldEnts[i]
+	}
 }
 
 // Quarantine is the global quarantine state. All methods are safe for
 // concurrent use.
 type Quarantine struct {
 	shards [setShards]shard
-	pool   sync.Pool // *Entry recycling: free() is the hot path
+
+	// Entry recycling: free() is the hot path, so Entries flow NewEntry ->
+	// Insert -> (sweeps) -> Release -> this freelist and back. An intrusive
+	// structure under its own mutex rather than a sync.Pool: the pool is
+	// emptied at every GC cycle, and with millions of quarantined entries
+	// in flight the subsequent re-allocation (plus the pool's own ring
+	// growth) was a double-digit share of benchmark CPU. Entries are held
+	// as whole chains — a sweep worker's Releaser donates its chunk with
+	// one splice, and a thread's buffer takes a chain at a time — so the
+	// lock is paid per batch, not per free.
+	freeMu sync.Mutex
+	chains []*Entry // each element heads an intrusive chain of free entries
 
 	pendMu  sync.Mutex
 	pending []*Entry
+	spare   []*Entry // recycled pending backing (see Reclaim)
 	epoch   atomic.Uint64
 
 	bytes         atomic.Int64 // mapped quarantined bytes (excludes unmapped)
@@ -63,29 +186,52 @@ type Quarantine struct {
 
 // New returns an empty quarantine.
 func New() *Quarantine {
-	q := &Quarantine{}
-	for i := range q.shards {
-		q.shards[i].m = make(map[uint64]*Entry)
-	}
-	return q
+	return &Quarantine{}
 }
 
 func (q *Quarantine) shardFor(base uint64) *shard {
-	// Allocation bases are at least 8-byte aligned; mix the middle bits.
-	h := (base >> 4) * 0x9E3779B97F4A7C15
-	return &q.shards[h>>58]
+	return &q.shards[mix(base)>>58]
 }
 
 // NewEntry returns a recycled or fresh Entry initialised for (base, size).
-// Entries flow: NewEntry -> Insert -> (sweeps) -> Release, which recycles
-// them; this keeps the hot free() path free of garbage-collector churn.
+// Threads with a ThreadBuffer should prefer ThreadBuffer.NewEntry, which
+// amortises the freelist lock over whole chains.
 func (q *Quarantine) NewEntry(base, size uint64) *Entry {
-	if v := q.pool.Get(); v != nil {
-		e := v.(*Entry)
-		*e = Entry{Base: base, Size: size}
-		return e
+	e := q.getChain()
+	if e == nil {
+		return &Entry{Base: base, Size: size}
 	}
-	return &Entry{Base: base, Size: size}
+	if e.next != nil {
+		q.putChain(e.next)
+	}
+	*e = Entry{Base: base, Size: size}
+	return e
+}
+
+// getChain pops one free chain, or nil.
+func (q *Quarantine) getChain() *Entry {
+	q.freeMu.Lock()
+	var e *Entry
+	if n := len(q.chains); n > 0 {
+		e = q.chains[n-1]
+		q.chains[n-1] = nil
+		q.chains = q.chains[:n-1]
+	}
+	q.freeMu.Unlock()
+	return e
+}
+
+// putChain donates a chain of free entries.
+func (q *Quarantine) putChain(head *Entry) {
+	q.freeMu.Lock()
+	q.chains = append(q.chains, head)
+	q.freeMu.Unlock()
+}
+
+// putEntry returns a single released entry to the freelist.
+func (q *Quarantine) putEntry(e *Entry) {
+	e.next = nil
+	q.putChain(e)
 }
 
 // Insert registers a freed allocation. It returns false — and counts a
@@ -94,13 +240,12 @@ func (q *Quarantine) NewEntry(base, size uint64) *Entry {
 func (q *Quarantine) Insert(e *Entry) bool {
 	s := q.shardFor(e.Base)
 	s.mu.Lock()
-	if _, dup := s.m[e.Base]; dup {
+	if !s.insert(e) {
 		s.mu.Unlock()
 		q.doubleFrees.Add(1)
-		q.pool.Put(e)
+		q.putEntry(e)
 		return false
 	}
-	s.m[e.Base] = e
 	s.mu.Unlock()
 	e.Epoch = q.epoch.Load()
 	q.bytes.Add(int64(e.Size))
@@ -112,7 +257,11 @@ func (q *Quarantine) Insert(e *Entry) bool {
 func (q *Quarantine) Contains(base uint64) bool {
 	s := q.shardFor(base)
 	s.mu.Lock()
-	_, ok := s.m[base]
+	ok := false
+	if s.ents != nil {
+		at, _ := s.lookup(base)
+		ok = at >= 0
+	}
 	s.mu.Unlock()
 	return ok
 }
@@ -134,10 +283,27 @@ func (q *Quarantine) Append(batch []*Entry) {
 func (q *Quarantine) LockIn() []*Entry {
 	q.pendMu.Lock()
 	locked := q.pending
-	q.pending = nil
+	q.pending = q.spare
+	q.spare = nil
 	q.pendMu.Unlock()
 	q.epoch.Add(1)
 	return locked
+}
+
+// Reclaim donates a slice previously returned by LockIn back to the pending
+// list once the sweep is done with it, so steady-state sweeps reuse one
+// backing array instead of regrowing from nil every epoch. The entries
+// themselves must already be Released or Requeued.
+func (q *Quarantine) Reclaim(buf []*Entry) {
+	if cap(buf) == 0 {
+		return
+	}
+	clear(buf[:cap(buf)])
+	q.pendMu.Lock()
+	if cap(buf) > cap(q.spare) {
+		q.spare = buf[:0]
+	}
+	q.pendMu.Unlock()
 }
 
 // Requeue returns failed entries to the pending list so future sweeps retry
@@ -172,7 +338,9 @@ func (q *Quarantine) NoteFailed(e *Entry) {
 func (q *Quarantine) Release(e *Entry) {
 	s := q.shardFor(e.Base)
 	s.mu.Lock()
-	delete(s.m, e.Base)
+	if s.ents != nil {
+		s.remove(e.Base)
+	}
 	s.mu.Unlock()
 	if e.Unmapped {
 		q.unmappedBytes.Add(-int64(e.Size))
@@ -183,7 +351,67 @@ func (q *Quarantine) Release(e *Entry) {
 		q.failedBytes.Add(-int64(e.Size))
 	}
 	q.entries.Add(-1)
-	q.pool.Put(e)
+	e.Ref = nil
+	q.putEntry(e)
+}
+
+// Releaser batches one sweep worker's releases. Shard removal still happens
+// per entry (membership must be exact at all times), but the freelist splice
+// and the byte/entry accounting are deferred to Flush, turning five atomic
+// operations per release into one set per chunk.
+type Releaser struct {
+	q                                 *Quarantine
+	head                              *Entry
+	bytes, unmappedBytes, failedBytes int64
+	n                                 int64
+}
+
+// NewReleaser returns a Releaser for one worker's chunk. Not safe for
+// concurrent use; each worker owns one and must call Flush when done.
+func (q *Quarantine) NewReleaser() Releaser { return Releaser{q: q} }
+
+// Release is Quarantine.Release with deferred accounting.
+func (r *Releaser) Release(e *Entry) {
+	s := r.q.shardFor(e.Base)
+	s.mu.Lock()
+	if s.keys != nil {
+		s.remove(e.Base)
+	}
+	s.mu.Unlock()
+	if e.Unmapped {
+		r.unmappedBytes -= int64(e.Size)
+	} else {
+		r.bytes -= int64(e.Size)
+	}
+	if e.Failed {
+		r.failedBytes -= int64(e.Size)
+	}
+	r.n++
+	e.Ref = nil
+	e.next = r.head
+	r.head = e
+}
+
+// Flush publishes the accumulated accounting and donates the released
+// entries to the freelist as one chain.
+func (r *Releaser) Flush() {
+	q := r.q
+	if r.bytes != 0 {
+		q.bytes.Add(r.bytes)
+	}
+	if r.unmappedBytes != 0 {
+		q.unmappedBytes.Add(r.unmappedBytes)
+	}
+	if r.failedBytes != 0 {
+		q.failedBytes.Add(r.failedBytes)
+	}
+	if r.n != 0 {
+		q.entries.Add(-r.n)
+	}
+	if r.head != nil {
+		q.putChain(r.head)
+	}
+	*r = Releaser{q: q}
 }
 
 // Bytes returns mapped quarantined bytes (unmapped entries excluded).
@@ -212,9 +440,11 @@ func (q *Quarantine) ForEach(fn func(e *Entry)) {
 	for i := range q.shards {
 		s := &q.shards[i]
 		s.mu.Lock()
-		snap := make([]*Entry, 0, len(s.m))
-		for _, e := range s.m {
-			snap = append(snap, e)
+		snap := make([]*Entry, 0, s.n)
+		for _, e := range s.ents {
+			if e != nil {
+				snap = append(snap, e)
+			}
 		}
 		s.mu.Unlock()
 		for _, e := range snap {
@@ -225,8 +455,9 @@ func (q *Quarantine) ForEach(fn func(e *Entry)) {
 
 // MetaBytes estimates the quarantine's metadata footprint.
 func (q *Quarantine) MetaBytes() uint64 {
-	// Set entry (~24 B bucket share) + Entry struct + pending slot.
-	return clamp(q.entries.Load()) * (24 + 40 + 8)
+	// Set slot pair (16 B at <=50% load, so ~32 B amortised) + Entry
+	// struct (incl. the substrate ref word pair) + pending slot.
+	return clamp(q.entries.Load()) * (32 + 56 + 8)
 }
 
 func clamp(v int64) uint64 {
@@ -242,6 +473,7 @@ type ThreadBuffer struct {
 	q     *Quarantine
 	batch []*Entry
 	cap   int
+	free  *Entry // local entry cache, refilled from the freelist a chain at a time
 }
 
 // DefaultBufferCap is the default thread-buffer capacity.
@@ -257,12 +489,30 @@ func NewThreadBuffer(q *Quarantine, capN int) *ThreadBuffer {
 }
 
 // Push buffers an entry, flushing the batch to the global pending list when
-// the buffer fills.
-func (b *ThreadBuffer) Push(e *Entry) {
+// the buffer fills. It reports whether a flush happened, so the caller can
+// amortise per-free bookkeeping (sweep-trigger checks) over whole batches.
+func (b *ThreadBuffer) Push(e *Entry) bool {
 	b.batch = append(b.batch, e)
 	if len(b.batch) >= b.cap {
 		b.Flush()
+		return true
 	}
+	return false
+}
+
+// NewEntry returns a recycled or fresh Entry initialised for (base, size),
+// drawing on the buffer's local cache so the hot path usually takes no lock.
+func (b *ThreadBuffer) NewEntry(base, size uint64) *Entry {
+	e := b.free
+	if e == nil {
+		e = b.q.getChain()
+		if e == nil {
+			return &Entry{Base: base, Size: size}
+		}
+	}
+	b.free = e.next
+	*e = Entry{Base: base, Size: size}
+	return e
 }
 
 // Flush appends all buffered entries to the global pending list. The buffer
@@ -273,4 +523,14 @@ func (b *ThreadBuffer) Flush() {
 	}
 	b.q.Append(b.batch)
 	b.batch = b.batch[:0]
+}
+
+// Retire flushes the buffer and donates its local entry cache back to the
+// global freelist; the owning thread is going away.
+func (b *ThreadBuffer) Retire() {
+	b.Flush()
+	if b.free != nil {
+		b.q.putChain(b.free)
+		b.free = nil
+	}
 }

@@ -243,7 +243,34 @@ func (a *Allocator) Free(_ alloc.ThreadID, addr uint64) error {
 	}
 	c.live = false
 	a.chunkMu.Unlock()
+	return a.finishFree(c, addr)
+}
 
+// FreeResolved implements alloc.Substrate: free via a Resolve-obtained chunk
+// reference, skipping the registry map lookup. A chunk stays the registry's
+// entry for its base for as long as it is live, so live==true proves the ref
+// is current; a stale ref (the allocation was freed and its base reused,
+// which only undefined program behaviour can produce) reads live==false and
+// reports a double free — exactly what a fresh lookup-based Free would have
+// concluded about the original allocation.
+func (a *Allocator) FreeResolved(tid alloc.ThreadID, ref alloc.Ref, addr uint64) error {
+	c, _ := ref.(*chunk)
+	if c == nil {
+		return a.Free(tid, addr)
+	}
+	a.chunkMu.Lock()
+	if !c.live {
+		a.chunkMu.Unlock()
+		return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
+	}
+	c.live = false
+	a.chunkMu.Unlock()
+	return a.finishFree(c, addr)
+}
+
+// finishFree returns a dead chunk's storage to the class freelist or the
+// secondary cache and settles accounting. c.live was flipped by the caller.
+func (a *Allocator) finishFree(c *chunk, addr uint64) error {
 	if c.class >= 0 {
 		cs := &a.classes[c.class]
 		cs.mu.Lock()
@@ -273,6 +300,18 @@ func (a *Allocator) Lookup(addr uint64) (alloc.Allocation, bool) {
 		return alloc.Allocation{}, false
 	}
 	return alloc.Allocation{Base: addr, Size: c.size, Large: c.class < 0}, true
+}
+
+// Resolve implements alloc.Substrate: Lookup plus the chunk header as an
+// opaque ref for FreeResolved.
+func (a *Allocator) Resolve(addr uint64) (alloc.Allocation, alloc.Ref, bool) {
+	a.chunkMu.RLock()
+	c, ok := a.chunks[addr]
+	a.chunkMu.RUnlock()
+	if !ok || !c.live {
+		return alloc.Allocation{}, nil, false
+	}
+	return alloc.Allocation{Base: addr, Size: c.size, Large: c.class < 0}, c, true
 }
 
 // DecommitExtent implements alloc.Substrate for live secondary allocations.
