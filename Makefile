@@ -1,10 +1,24 @@
-# Convenience targets for the MineSweeper reproduction.
+# Convenience targets for the MineSweeper reproduction. `make help` lists them.
 
 GO ?= go
 
-.PHONY: all build vet test race race-hot bench bench-free bench-all figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all figures examples clean
 
 all: build vet test
+
+help:
+	@echo "MineSweeper reproduction targets:"
+	@echo "  all        build + vet + test"
+	@echo "  check      go vet + race-detector pass over the concurrent hot paths"
+	@echo "  test       go test ./..."
+	@echo "  race       go test -race ./... (slow; check is the quick gate)"
+	@echo "  race-hot   race detector on sweep/shadow/core/mem/jemalloc only"
+	@echo "  bench      sweep hot-path benchmarks (bulk scan, markers, page scan)"
+	@echo "  bench-free malloc/free hot-path benchmarks (fixed-iteration protocol)"
+	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
+	@echo "  bench-all  every benchmark in the repository"
+	@echo "  figures    regenerate the paper figures (cmd/msbench)"
+	@echo "  examples   run the example programs"
 
 build:
 	$(GO) build ./...
@@ -24,6 +38,9 @@ race:
 race-hot:
 	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc
 
+# The pre-merge gate: static checks plus the hot-path race pass.
+check: vet race-hot
+
 # One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
 # sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
 bench:
@@ -38,6 +55,15 @@ bench:
 bench-free:
 	$(GO) test -run '^$$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -benchmem -count=3 .
 	$(GO) test -run '^$$' -bench 'BenchmarkRtree' -benchmem -count=3 ./internal/jemalloc
+
+# Machine-readable benchmark snapshots: the malloc/free comparison and the
+# post-sweep release path, 5 runs each, medians computed by cmd/benchjson.
+# These are the files EXPERIMENTS.md medians are transcribed from.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -count=5 . \
+		| $(GO) run ./cmd/benchjson > BENCH_free.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
+		| $(GO) run ./cmd/benchjson > BENCH_sweep.json
 
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:

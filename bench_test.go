@@ -161,6 +161,14 @@ func BenchmarkMallocFree64Par4_MineSweeper(b *testing.B) {
 	benchMallocFreePar(b, minesweeper.SchemeMineSweeper, 64, 4)
 }
 
+func BenchmarkMallocFree64Par8_Baseline(b *testing.B) {
+	benchMallocFreePar(b, minesweeper.SchemeBaseline, 64, 8)
+}
+
+func BenchmarkMallocFree64Par8_MineSweeper(b *testing.B) {
+	benchMallocFreePar(b, minesweeper.SchemeMineSweeper, 64, 8)
+}
+
 func BenchmarkLoadStore_MineSweeper(b *testing.B) {
 	_, th := benchProcess(b, minesweeper.SchemeMineSweeper)
 	a, err := th.Malloc(4096)

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON array, one object per benchmark result line, so CI and the
+// EXPERIMENTS.md tooling can diff runs without scraping free-form text:
+//
+//	go test -run '^$' -bench BenchmarkMallocFree64 -benchtime=300000x -count=5 . \
+//	    | go run ./cmd/benchjson > BENCH_free.json
+//
+// Repeated -count runs of one benchmark are grouped: each output object
+// carries every run plus the median, which is the number EXPERIMENTS.md
+// records (medians resist the occasional GC-noise outlier that means would
+// absorb).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark name's aggregated runs.
+type result struct {
+	Name        string    `json:"name"`
+	Procs       int       `json:"procs"`
+	Runs        int       `json:"runs"`
+	Iterations  []int64   `json:"iterations"`
+	NsPerOp     []float64 `json:"ns_per_op"`
+	MedianNsOp  float64   `json:"median_ns_per_op"`
+	BytesPerOp  []int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []int64   `json:"allocs_per_op,omitempty"`
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// splitName separates the GOMAXPROCS suffix go test appends ("Foo-8" → "Foo",
+// 8). Benchmarks whose own name ends in "-<digits>" are not expressible in Go
+// identifiers, so the split is unambiguous.
+func splitName(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 1
+	}
+	return s[:i], p
+}
+
+func main() {
+	byName := make(map[string]*result)
+	var names []string // first-seen order
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		// A result line: Benchmark<Name>-P  <iters>  <ns> ns/op  [<B> B/op  <allocs> allocs/op]
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		name, procs := splitName(f[0])
+		r, ok := byName[f[0]]
+		if !ok {
+			r = &result{Name: name, Procs: procs}
+			byName[f[0]] = r
+			names = append(names, f[0])
+		}
+		r.Iterations = append(r.Iterations, iters)
+		r.NsPerOp = append(r.NsPerOp, ns)
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = append(r.BytesPerOp, v)
+			case "allocs/op":
+				r.AllocsPerOp = append(r.AllocsPerOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	out := make([]*result, 0, len(names))
+	for _, n := range names {
+		r := byName[n]
+		r.Runs = len(r.NsPerOp)
+		r.MedianNsOp = median(r.NsPerOp)
+		out = append(out, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}

@@ -114,6 +114,17 @@ type Substrate interface {
 	// from Resolve while the allocation was live. Substrates fall back to
 	// a plain Free when ref is nil.
 	FreeResolved(tid ThreadID, ref Ref, addr uint64) error
+	// FreeBatch frees a batch of resolved allocations: refs[i] and addrs[i]
+	// describe one free exactly as a FreeResolved call would, and errs[i]
+	// (which must have len(addrs) slots) receives that item's verdict — nil
+	// on success, or the error the equivalent FreeResolved would have
+	// returned, so per-item double-free detection survives batching.
+	// Substrates with lock-protected internal structure amortise their
+	// locks across the batch (jemalloc groups the batch by arena shard and
+	// size class); others may simply loop, via FreeBatchSerial. The batch
+	// is a performance contract only: the end state must be what the same
+	// frees performed one at a time would have produced.
+	FreeBatch(tid ThreadID, refs []Ref, addrs []uint64, errs []error)
 	// DecommitExtent releases the physical pages of a live large
 	// allocation, leaving it allocated (§4.2).
 	DecommitExtent(base uint64) error
@@ -147,6 +158,19 @@ type Allocator interface {
 	// Shutdown stops background machinery (sweeper threads) and performs
 	// final housekeeping. The allocator must not be used afterwards.
 	Shutdown()
+}
+
+// FreeBatchSerial implements the FreeBatch contract by looping FreeResolved —
+// the straightforward fallback for substrates whose free path has no batchable
+// shared structure (dlmalloc's in-band headers, Scudo's per-chunk registry).
+func FreeBatchSerial(s Substrate, tid ThreadID, refs []Ref, addrs []uint64, errs []error) {
+	for i, addr := range addrs {
+		var ref Ref
+		if i < len(refs) {
+			ref = refs[i]
+		}
+		errs[i] = s.FreeResolved(tid, ref, addr)
+	}
 }
 
 // Name returns a short human-readable scheme name for an allocator, used in

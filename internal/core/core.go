@@ -416,6 +416,11 @@ func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 	return h.sub.Malloc(h.subTidFor(tid), size)
 }
 
+// pauseFloorBytes is the minimum quarantine size for the §5.7 pause to
+// engage at all. Below it, even an infinite quarantine:heap ratio costs a
+// bounded, negligible amount of memory.
+const pauseFloorBytes = 1 << 20
+
 // maybePause blocks the allocating thread while the quarantine is extremely
 // large relative to the heap, letting the sweeper catch up.
 func (h *Heap) maybePause(tid alloc.ThreadID) {
@@ -424,7 +429,22 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 	}
 	for {
 		qb := h.q.Bytes() - min64(h.q.Bytes(), h.q.FailedBytes())
+		// The brake bounds memory, so a quarantine that is small in
+		// absolute terms never warrants a pause regardless of ratio — a
+		// tiny-live-heap program would otherwise stall on a sweep every
+		// few frees.
+		if qb <= pauseFloorBytes {
+			return
+		}
+		// The substrate still counts quarantined allocations as live (they
+		// are not freed until a sweep releases them), so subtract them —
+		// as Stats does — to get the application's live heap. Against the
+		// raw substrate figure the quarantine is a summand of both sides
+		// and no threshold >= 1 could ever fire, leaving the §5.7 brake
+		// dead and the quarantine unbounded whenever the sweeper thread is
+		// starved of CPU.
 		heapB := h.sub.AllocatedBytes()
+		heapB -= min64(heapB, h.q.Bytes()+h.q.UnmappedBytes())
 		if float64(qb) <= h.cfg.PauseThreshold*float64(heapB+mem.PageSize) {
 			return
 		}
@@ -625,9 +645,18 @@ func (h *Heap) runSweep() {
 	h.genCond.Broadcast()
 }
 
+// releaseBatchSize is how many released entries a sweep worker accumulates
+// before handing them to the substrate in one FreeBatch call. Large enough to
+// amortise the substrate's bin/arena locks over many frees, small enough that
+// the per-worker scratch stays cache-resident.
+const releaseBatchSize = 256
+
 // filterAndRecycle consults the shadow map for each locked-in entry and
 // either releases it to the allocator or returns it to quarantine. The list
-// is divided equally among the sweep workers (§4.4).
+// is divided equally among the sweep workers (§4.4); each worker batches the
+// entries it releases and frees them through the substrate's FreeBatch, so
+// recycling n entries costs locks proportional to the number of (shard,
+// class) groups, not to n.
 func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 	start := time.Now()
 	workers := len(h.recycleTids)
@@ -652,6 +681,34 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 			tid := h.recycleTids[w]
 			rel := h.q.NewReleaser()
 			var fails []*quarantine.Entry
+			refs := make([]alloc.Ref, 0, releaseBatchSize)
+			addrs := make([]uint64, 0, releaseBatchSize)
+			errs := make([]error, releaseBatchSize)
+			released := uint64(0)
+			flush := func() {
+				if len(addrs) == 0 {
+					return
+				}
+				h.sub.FreeBatch(tid, refs, addrs, errs[:len(addrs)])
+				for _, err := range errs[:len(addrs)] {
+					if err == nil {
+						continue
+					}
+					// A program can double-free an allocation whose
+					// first free was already released and recycled;
+					// the second free re-enters quarantine looking
+					// live and the substrate detects the duplicate
+					// here. That is undefined behaviour in the
+					// program; absorb it (the substrate rejected the
+					// free, so nothing is corrupted).
+					if errors.Is(err, alloc.ErrDoubleFree) || errors.Is(err, alloc.ErrInvalidFree) {
+						h.lateDoubleFrees.Add(1)
+						continue
+					}
+					panic("core: substrate free failed: " + err.Error())
+				}
+				refs, addrs = refs[:0], addrs[:0]
+			}
 			for _, e := range locked[lo:hi] {
 				dangling := false
 				if h.cfg.Sweeping {
@@ -667,25 +724,19 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 					// Partial version: counted but freed anyway.
 					h.failedFrees.Add(1)
 				}
-				base, ref := e.Base, e.Ref // e is recycled by Release
+				// e is recycled by Release; its base and ref survive in
+				// the batch.
+				refs = append(refs, e.Ref)
+				addrs = append(addrs, e.Base)
 				rel.Release(e)
-				h.releasedFrees.Add(1)
-				if err := h.sub.FreeResolved(tid, ref, base); err != nil {
-					// A program can double-free an allocation whose
-					// first free was already released and recycled;
-					// the second free re-enters quarantine looking
-					// live and the substrate detects the duplicate
-					// here. That is undefined behaviour in the
-					// program; absorb it (the substrate rejected the
-					// free, so nothing is corrupted).
-					if errors.Is(err, alloc.ErrDoubleFree) || errors.Is(err, alloc.ErrInvalidFree) {
-						h.lateDoubleFrees.Add(1)
-						continue
-					}
-					panic("core: substrate free failed: " + err.Error())
+				released++
+				if len(addrs) == releaseBatchSize {
+					flush()
 				}
 			}
+			flush()
 			rel.Flush()
+			h.releasedFrees.Add(released)
 			failed[w] = fails
 		}(w, lo, hi)
 	}

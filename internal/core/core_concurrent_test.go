@@ -115,6 +115,58 @@ func TestConcurrentMutatorsMostlyConcurrentWithWorld(t *testing.T) {
 	}
 }
 
+func TestShardedChurnWithConcurrentSweeps(t *testing.T) {
+	// 8 mutators over a 4-shard substrate while explicit sweeps run
+	// concurrently: the batched release path (FreeBatch) constantly frees
+	// into shards other than the sweeping thread's own, and tcache flushes
+	// race bin handbacks. Run under -race via make race-hot / make check.
+	cfg := DefaultConfig()
+	cfg.BufferCap = 8
+	jcfg := jemalloc.DefaultConfig()
+	jcfg.Arenas = 4
+	h, err := New(mem.NewAddressSpace(), cfg, jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown()
+	done := make(chan struct{})
+	sweeperDone := make(chan struct{})
+	go func() {
+		defer close(sweeperDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				h.Sweep()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			churn(t, h, nil, g, 2000)
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	<-sweeperDone
+	h.Sweep()
+	h.Sweep()
+	st := h.Stats()
+	if st.Quarantined != 0 {
+		t.Errorf("Quarantined = %d after final sweeps, want 0", st.Quarantined)
+	}
+	if st.Allocated != 0 {
+		t.Errorf("Allocated = %d at exit, want 0", st.Allocated)
+	}
+	if got := h.sub.(*jemalloc.Heap).NumArenas(); got != 4 {
+		t.Errorf("NumArenas = %d, want 4", got)
+	}
+}
+
 func TestPauseOnOverwhelm(t *testing.T) {
 	// An extreme allocation rate with a tiny pause threshold must engage
 	// the §5.7 pausing mechanism instead of growing memory unboundedly.

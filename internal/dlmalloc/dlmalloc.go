@@ -227,6 +227,13 @@ func (h *Heap) FreeResolved(tid alloc.ThreadID, _ alloc.Ref, addr uint64) error 
 	return h.Free(tid, addr)
 }
 
+// FreeBatch implements alloc.Substrate per-item: every free re-reads an
+// in-band header, so there is no shared structure to amortise across the
+// batch.
+func (h *Heap) FreeBatch(tid alloc.ThreadID, refs []alloc.Ref, addrs []uint64, errs []error) {
+	alloc.FreeBatchSerial(h, tid, refs, addrs, errs)
+}
+
 // DecommitExtent implements alloc.Substrate: in-band chunks share pages with
 // neighbours, so page release is unavailable (the drop-in layer copes, as
 // with any allocator lacking the extension).

@@ -8,10 +8,10 @@ import (
 	"minesweeper/internal/mem"
 )
 
-// bin manages the slabs of one small size class: a current slab that serves
-// allocations, plus a list of other non-full slabs. Fully-free slabs (other
-// than the current one) are returned to the arena's dirty lists so purging
-// can reclaim them.
+// bin manages the slabs of one small size class within one heap shard: a
+// current slab that serves allocations, plus a list of other non-full slabs.
+// Fully-free slabs (other than the current one) are returned to the shard
+// arena's dirty lists so purging can reclaim them.
 type bin struct {
 	mu      sync.Mutex
 	class   int
@@ -22,6 +22,28 @@ type bin struct {
 	// slabBytes is the heap-wide live-slab byte counter, updated here so
 	// callers need not reach under the bin lock for accounting.
 	slabBytes *atomic.Int64
+}
+
+// pushNonfull appends e to the nonfull list, recording its index on the
+// extent so removal is O(1). Caller holds b.mu.
+func (b *bin) pushNonfull(e *Extent) {
+	e.nonfullIdx = int32(len(b.nonfull))
+	b.nonfull = append(b.nonfull, e)
+}
+
+// removeNonfull swap-removes e from the nonfull list via its stored index.
+// Caller holds b.mu; e must be listed.
+func (b *bin) removeNonfull(e *Extent) {
+	i := int(e.nonfullIdx)
+	last := len(b.nonfull) - 1
+	if i != last {
+		moved := b.nonfull[last]
+		b.nonfull[i] = moved
+		moved.nonfullIdx = int32(i)
+	}
+	b.nonfull[last] = nil
+	b.nonfull = b.nonfull[:last]
+	e.nonfullIdx = -1
 }
 
 // allocBatch fills out[:n] with up to n region addresses — and exts/regs,
@@ -38,7 +60,9 @@ func (b *bin) allocBatch(a *arena, out []uint64, exts []*Extent, regs []int32) (
 		if b.current == nil || b.current.nfree == 0 {
 			if n := len(b.nonfull); n > 0 {
 				b.current = b.nonfull[n-1]
+				b.nonfull[n-1] = nil
 				b.nonfull = b.nonfull[:n-1]
+				b.current.nonfullIdx = -1
 			} else {
 				e, err := a.allocExtent(SlabPages(b.class))
 				if err != nil {
@@ -68,14 +92,29 @@ func (b *bin) allocBatch(a *arena, out []uint64, exts []*Extent, regs []int32) (
 	return got, nil
 }
 
-// freeRegion returns one region to its slab, reporting a double free if the
-// region is already free. The extent must belong to this bin's class.
-// Fully-free non-current slabs are handed back to the arena.
-func (b *bin) freeRegion(a *arena, e *Extent, idx int) error {
-	b.mu.Lock()
+// freeOneLocked returns one region to its slab. Caller holds b.mu; the extent
+// must belong to this bin's class. A fully-freed non-current slab is returned
+// for the caller to hand back to the arena after dropping the bin lock.
+//
+// fromCache distinguishes the two legitimate sources of a free: a tcache
+// drain arrives with the region's residency bit still set (the bit is cleared
+// here, once the slab owns the region again), while an external free of a
+// region that some thread still caches is a double free and is reported
+// without touching the slab.
+func (b *bin) freeOneLocked(e *Extent, idx int, fromCache bool) (*Extent, error) {
+	if e != b.current && e.nfree == e.nregs {
+		// A fully-free non-current slab has already been released — by an
+		// earlier item of the same batch, or by a racing thread whose
+		// arena handback is in flight. A free dispatched a moment later
+		// would find the extent no longer a slab, so report what that
+		// per-item replay reports.
+		return nil, alloc.ErrInvalidFree
+	}
+	if !fromCache && e.regionCached(idx) {
+		return nil, alloc.ErrDoubleFree
+	}
 	if e.regionFree(idx) {
-		b.mu.Unlock()
-		return alloc.ErrDoubleFree
+		return nil, alloc.ErrDoubleFree
 	}
 	wasFull := e.nfree == 0
 	e.pushRegion(idx)
@@ -85,30 +124,62 @@ func (b *bin) freeRegion(a *arena, e *Extent, idx int) error {
 	if e.cachemap != nil {
 		e.uncacheRegion(idx)
 	}
-	var release *Extent
-	if e != b.current {
-		if e.nfree == e.nregs {
-			// Entirely free: remove from nonfull (it is there unless
-			// it was full) and release to the arena.
-			if !wasFull {
-				for i, s := range b.nonfull {
-					if s == e {
-						b.nonfull[i] = b.nonfull[len(b.nonfull)-1]
-						b.nonfull = b.nonfull[:len(b.nonfull)-1]
-						break
-					}
-				}
-			}
-			b.nslabs--
-			b.slabBytes.Add(-int64(SlabPages(b.class) * mem.PageSize))
-			release = e
-		} else if wasFull {
-			b.nonfull = append(b.nonfull, e)
-		}
+	if e == b.current {
+		return nil, nil
 	}
+	if e.nfree == e.nregs {
+		// Entirely free: remove from nonfull (it is there unless it was
+		// full) and release to the arena.
+		if !wasFull {
+			b.removeNonfull(e)
+		}
+		b.nslabs--
+		b.slabBytes.Add(-int64(SlabPages(b.class) * mem.PageSize))
+		return e, nil
+	}
+	if wasFull {
+		b.pushNonfull(e)
+	}
+	return nil, nil
+}
+
+// freeRegion returns one region to its slab, reporting a double free if the
+// region is already free. Fully-free non-current slabs are handed back to the
+// arena.
+func (b *bin) freeRegion(a *arena, e *Extent, idx int) error {
+	b.mu.Lock()
+	release, err := b.freeOneLocked(e, idx, true)
 	b.mu.Unlock()
 	if release != nil {
 		a.freeExtent(release)
 	}
-	return nil
+	return err
+}
+
+// freeItems returns a whole batch of this bin's regions under one lock
+// acquisition, writing each item's verdict (nil, ErrDoubleFree, or
+// ErrInvalidFree for frees into a slab the batch already emptied) to errs[k]
+// when errs is non-nil, and returns how many regions were actually freed.
+// Slabs emptied by the batch are handed to the arena in one batched call
+// after the bin lock is dropped, so a batch of n frees costs one bin-lock
+// round-trip plus at most one arena-lock round-trip — not n of each.
+func (b *bin) freeItems(a *arena, items []tcitem, errs []error, fromCache bool) int {
+	var releases []*Extent
+	freed := 0
+	b.mu.Lock()
+	for k, it := range items {
+		release, err := b.freeOneLocked(it.ext, int(it.reg), fromCache)
+		if err == nil {
+			freed++
+		}
+		if errs != nil {
+			errs[k] = err
+		}
+		if release != nil {
+			releases = append(releases, release)
+		}
+	}
+	b.mu.Unlock()
+	a.freeExtents(releases)
+	return freed
 }

@@ -2,6 +2,7 @@ package jemalloc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -22,11 +23,17 @@ type Config struct {
 	DecayCycles uint64
 	// TcacheEnabled enables per-thread caches.
 	TcacheEnabled bool
+	// Arenas is the number of arena/bin shards. Threads are spread over the
+	// shards round-robin by thread ID, so tcache misses from different
+	// threads hit different bin locks — jemalloc's multiple-arenas
+	// analogue. Zero (the default) selects min(4, GOMAXPROCS).
+	Arenas int
 }
 
 // DefaultConfig mirrors stock jemalloc behaviour: tcache on, decay purging
 // of dirty extents (jemalloc's 10-second decay curve, expressed here in
-// virtual operation-count time at simulator scale), end-pointer pad on.
+// virtual operation-count time at simulator scale), end-pointer pad on,
+// automatic arena count.
 func DefaultConfig() Config {
 	return Config{
 		Hooks:         DefaultHooks{},
@@ -36,14 +43,22 @@ func DefaultConfig() Config {
 	}
 }
 
+// heapShard is one slice of the allocator's shared state: an arena (extent
+// lifecycle, dirty lists) plus a full bin set. Each shard has its own locks;
+// only the page map and the heap-wide statistic counters are shared.
+type heapShard struct {
+	arena *arena
+	bins  []bin
+}
+
 // Heap is a jemalloc-style allocator over a simulated address space. It
 // implements alloc.Allocator and is the substrate both the baseline and
 // MineSweeper run on.
 type Heap struct {
-	space *mem.AddressSpace
-	cfg   Config
-	arena *arena
-	bins  []bin
+	space  *mem.AddressSpace
+	cfg    Config
+	pm     *rtree // page map, shared by all shards
+	shards []heapShard
 
 	tcMu     sync.Mutex
 	tcaches  atomic.Pointer[[]*tcache]
@@ -63,16 +78,28 @@ func New(space *mem.AddressSpace, cfg Config) *Heap {
 	if cfg.Hooks == nil {
 		cfg.Hooks = DefaultHooks{}
 	}
-	h := &Heap{
-		space: space,
-		cfg:   cfg,
-		arena: newArena(space, cfg.Hooks, cfg.DecayCycles),
-		bins:  make([]bin, NumClasses()),
+	nshards := cfg.Arenas
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+		if nshards > 4 {
+			nshards = 4
+		}
 	}
-	for c := range h.bins {
-		h.bins[c].class = c
-		h.bins[c].size = ClassSize(c)
-		h.bins[c].slabBytes = &h.slabBytes
+	h := &Heap{
+		space:  space,
+		cfg:    cfg,
+		pm:     newRtree(),
+		shards: make([]heapShard, nshards),
+	}
+	for s := range h.shards {
+		sh := &h.shards[s]
+		sh.arena = newArena(space, cfg.Hooks, h.pm, int32(s), cfg.DecayCycles)
+		sh.bins = make([]bin, NumClasses())
+		for c := range sh.bins {
+			sh.bins[c].class = c
+			sh.bins[c].size = ClassSize(c)
+			sh.bins[c].slabBytes = &h.slabBytes
+		}
 	}
 	empty := make([]*tcache, 0)
 	h.tcaches.Store(&empty)
@@ -84,6 +111,20 @@ func (h *Heap) String() string { return "jemalloc" }
 
 // Space returns the underlying address space.
 func (h *Heap) Space() *mem.AddressSpace { return h.space }
+
+// NumArenas returns the number of arena/bin shards.
+func (h *Heap) NumArenas() int { return len(h.shards) }
+
+// shardFor returns the shard serving a thread's slow paths: threads are
+// spread round-robin, jemalloc's thread→arena assignment.
+func (h *Heap) shardFor(tid alloc.ThreadID) *heapShard {
+	return &h.shards[int(uint32(tid))%len(h.shards)]
+}
+
+// shardOf returns the shard owning an extent.
+func (h *Heap) shardOf(e *Extent) *heapShard {
+	return &h.shards[e.shard]
+}
 
 // RegisterThread implements alloc.Allocator.
 func (h *Heap) RegisterThread() alloc.ThreadID {
@@ -107,9 +148,7 @@ func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
 		return
 	}
 	for c := range tc.bins {
-		for _, it := range tc.drainAll(c) {
-			_ = h.bins[c].freeRegion(h.arena, it.ext, int(it.reg))
-		}
+		h.flushItems(c, tc.drainAll(c))
 	}
 	h.tcMu.Lock()
 	defer h.tcMu.Unlock()
@@ -154,14 +193,14 @@ func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 		}
 		if addr == 0 {
 			var err error
-			addr, err = h.smallSlow(tc, class)
+			addr, err = h.smallSlow(h.shardFor(tid), tc, class)
 			if err != nil {
 				return 0, err
 			}
 		}
 	} else {
 		pages := LargePages(req)
-		e, err := h.arena.allocExtent(int(pages))
+		e, err := h.shardFor(tid).arena.allocExtent(int(pages))
 		if err != nil {
 			return 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
 		}
@@ -175,10 +214,10 @@ func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 	return addr, nil
 }
 
-// smallSlow refills the tcache from the bin (or allocates one region when
-// tcache is disabled).
-func (h *Heap) smallSlow(tc *tcache, class int) (uint64, error) {
-	b := &h.bins[class]
+// smallSlow refills the tcache from the shard's bin (or allocates one region
+// when tcache is disabled).
+func (h *Heap) smallSlow(sh *heapShard, tc *tcache, class int) (uint64, error) {
+	b := &sh.bins[class]
 	want := 1
 	if tc != nil {
 		want = tc.fillTarget(class)
@@ -201,7 +240,7 @@ func (h *Heap) smallSlow(tc *tcache, class int) (uint64, error) {
 		exts = make([]*Extent, want)
 		regs = make([]int32, want)
 	}
-	n, err := b.allocBatch(h.arena, buf, exts, regs)
+	n, err := b.allocBatch(sh.arena, buf, exts, regs)
 	if err != nil || n == 0 {
 		return 0, fmt.Errorf("%w: %v", alloc.ErrOutOfMemory, err)
 	}
@@ -216,7 +255,7 @@ func (h *Heap) smallSlow(tc *tcache, class int) (uint64, error) {
 
 // Free implements alloc.Allocator.
 func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
-	e := h.arena.pm.lookup(addr)
+	e := h.pm.lookup(addr)
 	if e == nil {
 		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
 	}
@@ -244,7 +283,7 @@ func (h *Heap) freeInExtent(tid alloc.ThreadID, e *Extent, addr uint64) error {
 		return fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
 	}
 	usable := e.size
-	h.arena.freeExtent(e)
+	h.shardOf(e).arena.freeExtent(e)
 	h.largeLive.Add(-int64(usable))
 	h.allocated.Add(-int64(usable))
 	h.frees.Add(1)
@@ -270,10 +309,11 @@ func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
 			return fmt.Errorf("%w: %#x", alloc.ErrDoubleFree, addr)
 		}
 		if full := tc.push(class, addr, e, idx); full {
-			h.flushTbin(tc, class)
+			h.flushItems(class, tc.drainHalf(class))
 		}
 	} else {
-		if err := h.bins[class].freeRegion(h.arena, e, idx); err != nil {
+		sh := h.shardOf(e)
+		if err := sh.bins[class].freeRegion(sh.arena, e, idx); err != nil {
 			return err
 		}
 	}
@@ -282,12 +322,191 @@ func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
 	return nil
 }
 
-// flushTbin returns the oldest half of a tcache bin to the shared bin. The
-// cached items carry their extents, so no page-map lookups are needed.
-func (h *Heap) flushTbin(tc *tcache, class int) {
-	b := &h.bins[class]
-	for _, it := range tc.drainHalf(class) {
-		_ = b.freeRegion(h.arena, it.ext, int(it.reg))
+// flushItems returns drained tcache items of one class to their owning bins.
+// The cached items carry their extents, so no page-map lookups are needed;
+// items are grouped into runs of the same shard so a flush costs one bin-lock
+// acquisition per run, not per item. (A thread mostly frees what it
+// allocated, so the common case is a single run.)
+func (h *Heap) flushItems(class int, items []tcitem) {
+	for i := 0; i < len(items); {
+		s := items[i].ext.shard
+		j := i + 1
+		for j < len(items) && items[j].ext.shard == s {
+			j++
+		}
+		sh := &h.shards[s]
+		sh.bins[class].freeItems(sh.arena, items[i:j], nil, true)
+		i = j
+	}
+}
+
+// batchScratch is FreeBatch's reusable working memory. The sweep release
+// path calls FreeBatch once per few-hundred-entry batch, thousands of times
+// per sweep; allocating the grouping buffers per call made the batched path
+// SLOWER than per-item frees purely through GC pressure (measured on
+// BenchmarkSweepRelease), so they are pooled.
+type batchScratch struct {
+	exts     []*Extent
+	keys     []int32
+	order    []int32
+	counts   []int32
+	items    []tcitem
+	itemIdx  []int32
+	itemErrs []error
+	release  []*Extent
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// grab sizes the scratch for a batch of n items over nkeys grouping keys.
+func (sc *batchScratch) grab(n, nkeys int) {
+	if cap(sc.exts) < n {
+		sc.exts = make([]*Extent, n)
+		sc.keys = make([]int32, n)
+		sc.order = make([]int32, n)
+	}
+	if cap(sc.counts) < nkeys {
+		sc.counts = make([]int32, nkeys)
+	}
+	clear(sc.counts[:nkeys])
+}
+
+// put clears the pointer-bearing slices — to capacity, since truncation
+// leaves extent pointers alive in the backing arrays and the pool must not
+// pin extents across GC cycles — and returns the scratch.
+func (sc *batchScratch) put() {
+	clear(sc.exts)
+	clear(sc.items[:cap(sc.items)])
+	clear(sc.itemErrs)
+	clear(sc.release[:cap(sc.release)])
+	sc.release = sc.release[:0]
+	batchScratchPool.Put(sc)
+}
+
+// FreeBatch implements alloc.Substrate: free a batch of resolved allocations,
+// grouping the batch by owning shard and size class so all regions of one
+// class are freed under a single bin-lock acquisition (and all emptied slabs
+// and large extents return to each arena under a single arena-lock
+// acquisition). errs[i] records each item's verdict, preserving per-item
+// double-free detection for the caller's accounting. This is the sweep
+// release path: per-item lock round-trips were the dominant cost of
+// recycling a large quarantine generation.
+func (h *Heap) FreeBatch(tid alloc.ThreadID, refs []alloc.Ref, addrs []uint64, errs []error) {
+	n := len(addrs)
+	nclasses := NumClasses()
+	// One key per (shard, class) pair plus one large-extent key per shard.
+	nkeys := len(h.shards) * (nclasses + 1)
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.grab(n, nkeys)
+	exts, keys, counts := sc.exts[:n], sc.keys[:n], sc.counts[:nkeys]
+	valid := 0
+	for i, addr := range addrs {
+		var e *Extent
+		if i < len(refs) {
+			e, _ = refs[i].(*Extent)
+		}
+		if e == nil {
+			e = h.pm.lookup(addr)
+		}
+		if e == nil {
+			errs[i] = fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addr)
+			exts[i], keys[i] = nil, -1
+			continue
+		}
+		exts[i] = e
+		var k int32
+		if e.isSlab() {
+			k = e.shard*int32(nclasses) + e.class.Load()
+		} else {
+			k = int32(len(h.shards)*nclasses) + e.shard
+		}
+		keys[i] = k
+		counts[k]++
+		errs[i] = nil
+		valid++
+	}
+	// Group by key with a counting sort — stable by construction, so
+	// duplicate frees of the same region keep their program order and the
+	// verdicts match a per-item replay.
+	order := sc.order[:valid]
+	pos := int32(0)
+	for k := range counts {
+		c := counts[k]
+		counts[k] = pos
+		pos += c
+	}
+	for i := 0; i < n; i++ {
+		if k := keys[i]; k >= 0 {
+			order[counts[k]] = int32(i)
+			counts[k]++
+		}
+	}
+
+	freedBytes := int64(0)
+	largeBytes := int64(0)
+	freedCount := uint64(0)
+	for lo := 0; lo < len(order); {
+		hi := lo + 1
+		for hi < len(order) && keys[order[hi]] == keys[order[lo]] {
+			hi++
+		}
+		first := exts[order[lo]]
+		if first.isSlab() {
+			class := int(first.class.Load())
+			items, itemIdx := sc.items[:0], sc.itemIdx[:0]
+			for _, i := range order[lo:hi] {
+				e := exts[i]
+				idx := e.regionIndex(addrs[i])
+				if e.regionBase(idx) != addrs[i] {
+					errs[i] = fmt.Errorf("%w: %#x is interior", alloc.ErrInvalidFree, addrs[i])
+					continue
+				}
+				items = append(items, tcitem{addr: addrs[i], ext: e, reg: int32(idx)})
+				itemIdx = append(itemIdx, int32(i))
+			}
+			sc.items, sc.itemIdx = items, itemIdx
+			if cap(sc.itemErrs) < len(items) {
+				sc.itemErrs = make([]error, len(items))
+			}
+			itemErrs := sc.itemErrs[:len(items)]
+			sh := h.shardOf(first)
+			freed := sh.bins[class].freeItems(sh.arena, items, itemErrs, false)
+			for k, i := range itemIdx {
+				if err := itemErrs[k]; err != nil {
+					errs[i] = fmt.Errorf("%w: %#x", err, addrs[i])
+				}
+			}
+			freedBytes += int64(freed) * int64(ClassSize(class))
+			freedCount += uint64(freed)
+		} else {
+			release := sc.release[:0]
+			for _, i := range order[lo:hi] {
+				e := exts[i]
+				// The CAS claims the extent exactly once: a duplicate
+				// free of the same large allocation inside one batch
+				// loses the race and reports invalid, as a per-item
+				// replay would.
+				if addrs[i] != e.base || !e.state.CompareAndSwap(extStateLarge, extStateFree) {
+					errs[i] = fmt.Errorf("%w: %#x", alloc.ErrInvalidFree, addrs[i])
+					continue
+				}
+				release = append(release, e)
+				freedBytes += int64(e.size)
+				largeBytes += int64(e.size)
+				freedCount++
+			}
+			sc.release = release
+			h.shardOf(first).arena.freeExtents(release)
+		}
+		lo = hi
+	}
+	sc.put()
+	if freedCount > 0 {
+		h.allocated.Add(-freedBytes)
+		if largeBytes != 0 {
+			h.largeLive.Add(-largeBytes)
+		}
+		h.frees.Add(freedCount)
 	}
 }
 
@@ -312,7 +531,7 @@ func (h *Heap) Lookup(addr uint64) (alloc.Allocation, bool) {
 // opaque ref, so the caller's eventual FreeResolved skips the second
 // page-map lookup the seed performed on every intercepted free().
 func (h *Heap) Resolve(addr uint64) (alloc.Allocation, alloc.Ref, bool) {
-	e := h.arena.pm.lookup(addr)
+	e := h.pm.lookup(addr)
 	if e == nil {
 		return alloc.Allocation{}, nil, false
 	}
@@ -334,12 +553,13 @@ func (h *Heap) Resolve(addr uint64) (alloc.Allocation, alloc.Ref, bool) {
 // to unmap large quarantined allocations (§4.2); the extent is recommitted by
 // the hooks when the arena eventually reuses it.
 func (h *Heap) DecommitExtent(base uint64) error {
-	e := h.arena.pm.lookup(base)
+	e := h.pm.lookup(base)
 	if e == nil || !e.isLarge() || e.base != base {
 		return fmt.Errorf("%w: %#x is not a live large allocation", alloc.ErrInvalidFree, base)
 	}
-	h.arena.mu.Lock()
-	defer h.arena.mu.Unlock()
+	a := h.shardOf(e).arena
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if !e.committed {
 		return nil
 	}
@@ -350,28 +570,54 @@ func (h *Heap) DecommitExtent(base uint64) error {
 	return nil
 }
 
-// Tick implements alloc.Allocator (decay purging).
-func (h *Heap) Tick(now uint64) { h.arena.Tick(now) }
+// Tick implements alloc.Allocator (decay purging, every shard).
+func (h *Heap) Tick(now uint64) {
+	for s := range h.shards {
+		h.shards[s].arena.Tick(now)
+	}
+}
 
 // PurgeAll decommits all dirty extents now. MineSweeper calls this from the
 // sweeper thread after each sweep (§4.5).
-func (h *Heap) PurgeAll() { h.arena.PurgeAll() }
+func (h *Heap) PurgeAll() {
+	for s := range h.shards {
+		h.shards[s].arena.PurgeAll()
+	}
+}
 
 // AllocatedBytes returns live usable bytes (the quarantine threshold's
 // denominator component).
 func (h *Heap) AllocatedBytes() uint64 { return uint64(h.allocated.Load()) }
 
-// Stats implements alloc.Allocator.
+// dirtyStats sums (committed dirty bytes, dirty extent count) over shards.
+func (h *Heap) dirtyStats() (uint64, int) {
+	var bytes uint64
+	var n int
+	for s := range h.shards {
+		b, c := h.shards[s].arena.dirtyStats()
+		bytes += b
+		n += c
+	}
+	return bytes, n
+}
+
+// Stats implements alloc.Allocator. The counters are heap-global atomics and
+// the per-shard figures are summed, so the snapshot stays exact under
+// sharding.
 func (h *Heap) Stats() alloc.Stats {
-	dirtyBytes, ndirty := h.arena.dirtyStats()
+	dirtyBytes, ndirty := h.dirtyStats()
+	var purges uint64
+	for s := range h.shards {
+		purges += h.shards[s].arena.purges.Load()
+	}
 	return alloc.Stats{
 		Allocated:  uint64(h.allocated.Load()),
 		Active:     uint64(h.slabBytes.Load() + h.largeLive.Load()),
 		DirtyBytes: dirtyBytes,
-		MetaBytes:  h.arena.pm.footprint() + uint64(ndirty)*128,
+		MetaBytes:  h.pm.footprint() + uint64(ndirty)*128,
 		Mallocs:    h.mallocs.Load(),
 		Frees:      h.frees.Load(),
-		Purges:     h.arena.purges.Load(),
+		Purges:     purges,
 	}
 }
 

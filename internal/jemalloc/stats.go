@@ -56,43 +56,55 @@ func (h *Heap) DetailedStats() DetailedStats {
 		LargeBytes: uint64(h.largeLive.Load()),
 		RSS:        h.space.RSS(),
 	}
-	d.DirtyBytes, d.DirtyExtents = h.arena.dirtyStats()
-	h.arena.mu.Lock()
-	d.Extents = h.arena.nExtents
-	h.arena.mu.Unlock()
+	d.DirtyBytes, d.DirtyExtents = h.dirtyStats()
+	for s := range h.shards {
+		a := h.shards[s].arena
+		a.mu.Lock()
+		d.Extents += a.nExtents
+		a.mu.Unlock()
+	}
 
-	for c := range h.bins {
-		b := &h.bins[c]
-		b.mu.Lock()
-		if b.nslabs == 0 {
+	// Per-class figures are summed over the shards' bin sets, so the
+	// snapshot is the same exact accounting a single shared bin set gave.
+	for c := 0; c < NumClasses(); c++ {
+		regs := SlabRegions(c)
+		slabs := 0
+		cur := 0
+		for s := range h.shards {
+			b := &h.shards[s].bins[c]
+			b.mu.Lock()
+			if b.nslabs == 0 {
+				b.mu.Unlock()
+				continue
+			}
+			counted := 0
+			if b.current != nil {
+				cur += b.current.nregs - b.current.nfree
+				counted++
+			}
+			for _, sl := range b.nonfull {
+				cur += sl.nregs - sl.nfree
+				counted++
+			}
+			// Slabs not in current/nonfull are full.
+			cur += (b.nslabs - counted) * regs
+			slabs += b.nslabs
 			b.mu.Unlock()
+		}
+		if slabs == 0 {
 			continue
 		}
-		regs := SlabRegions(c)
-		cur := 0
-		counted := 0
-		if b.current != nil {
-			cur += b.current.nregs - b.current.nfree
-			counted++
-		}
-		for _, s := range b.nonfull {
-			cur += s.nregs - s.nfree
-			counted++
-		}
-		// Slabs not in current/nonfull are full.
-		cur += (b.nslabs - counted) * regs
 		bs := BinStats{
 			Class:     c,
 			Size:      ClassSize(c),
 			SlabPages: SlabPages(c),
 			Regions:   regs,
-			Slabs:     b.nslabs,
+			Slabs:     slabs,
 			CurRegs:   cur,
 		}
 		if total := bs.Slabs * bs.Regions; total > 0 {
 			bs.Utilisation = float64(bs.CurRegs) / float64(total)
 		}
-		b.mu.Unlock()
 		d.Bins = append(d.Bins, bs)
 	}
 	return d

@@ -362,9 +362,18 @@ func (q *Quarantine) Release(e *Entry) {
 type Releaser struct {
 	q                                 *Quarantine
 	head                              *Entry
+	chainLen                          int
 	bytes, unmappedBytes, failedBytes int64
 	n                                 int64
 }
+
+// releaseChainLen bounds the length of a donated free chain. A sweep worker
+// may release a hundred thousand entries; donated as one chain, whichever
+// thread's buffer popped it first would hoard the whole freelist while every
+// other thread allocated fresh entries (ThreadBuffer.NewEntry keeps the
+// popped chain locally). Bounded chains keep the freelist shareable at a
+// cost of one splice lock per chunk.
+const releaseChainLen = 256
 
 // NewReleaser returns a Releaser for one worker's chunk. Not safe for
 // concurrent use; each worker owns one and must call Flush when done.
@@ -390,6 +399,10 @@ func (r *Releaser) Release(e *Entry) {
 	e.Ref = nil
 	e.next = r.head
 	r.head = e
+	if r.chainLen++; r.chainLen >= releaseChainLen {
+		r.q.putChain(r.head)
+		r.head, r.chainLen = nil, 0
+	}
 }
 
 // Flush publishes the accumulated accounting and donates the released

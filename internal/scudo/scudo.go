@@ -268,6 +268,13 @@ func (a *Allocator) FreeResolved(tid alloc.ThreadID, ref alloc.Ref, addr uint64)
 	return a.finishFree(c, addr)
 }
 
+// FreeBatch implements alloc.Substrate per-item: Scudo's chunk state flip and
+// freelist push are two short critical sections per free already, so the
+// serial fallback is adequate for the release path.
+func (a *Allocator) FreeBatch(tid alloc.ThreadID, refs []alloc.Ref, addrs []uint64, errs []error) {
+	alloc.FreeBatchSerial(a, tid, refs, addrs, errs)
+}
+
 // finishFree returns a dead chunk's storage to the class freelist or the
 // secondary cache and settles accounting. c.live was flipped by the caller.
 func (a *Allocator) finishFree(c *chunk, addr uint64) error {
