@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all telemetry-overhead figures examples clean
 
 all: build vet test
 
@@ -17,6 +17,7 @@ help:
 	@echo "  bench-free malloc/free hot-path benchmarks (fixed-iteration protocol)"
 	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
 	@echo "  bench-all  every benchmark in the repository"
+	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
 	@echo "  figures    regenerate the paper figures (cmd/msbench)"
 	@echo "  examples   run the example programs"
 
@@ -36,7 +37,7 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc ./internal/telemetry
 
 # The pre-merge gate: static checks plus the hot-path race pass.
 check: vet race-hot
@@ -65,6 +66,15 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
 		| $(GO) run ./cmd/benchjson > BENCH_sweep.json
 
+# Telemetry-overhead gate: interleaved fixed-iteration rounds of the 64-byte
+# malloc/free pair with and without the telemetry registry attached; fails if
+# attaching costs more than 3% on the minimum round. The two configurations
+# differ only by Config.Telemetry, so the ratio isolates the per-op sampling
+# decision. See telemetry_overhead_test.go for why the rounds interleave
+# rather than comparing two separate -bench entries.
+telemetry-overhead:
+	MS_TELEMETRY_GATE=1 $(GO) test -run '^TestTelemetryOverheadGate$$' -count=1 -v .
+
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -79,6 +89,7 @@ examples:
 	$(GO) run ./examples/webcache
 	$(GO) run ./examples/tracereplay
 	$(GO) run ./examples/fdpoison
+	$(GO) run ./examples/telemetry
 
 clean:
 	$(GO) clean ./...

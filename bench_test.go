@@ -91,7 +91,20 @@ func benchProcess(b *testing.B, scheme minesweeper.Scheme) (*minesweeper.Process
 }
 
 func benchMallocFree(b *testing.B, scheme minesweeper.Scheme, size uint64) {
-	_, th := benchProcess(b, scheme)
+	benchMallocFreeCfg(b, minesweeper.Config{Scheme: scheme}, size)
+}
+
+func benchMallocFreeCfg(b *testing.B, cfg minesweeper.Config, size uint64) {
+	p, err := minesweeper.NewProcess(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	th, err := p.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(th.Close)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, err := th.Malloc(size)
@@ -110,6 +123,17 @@ func BenchmarkMallocFree64_Baseline(b *testing.B) {
 
 func BenchmarkMallocFree64_MineSweeper(b *testing.B) {
 	benchMallocFree(b, minesweeper.SchemeMineSweeper, 64)
+}
+
+// BenchmarkMallocFree64_MineSweeperTelemetry is the same fast path with the
+// telemetry registry attached: the pair of timestamped histogram records per
+// op is the telemetry layer's whole hot-path cost. make telemetry-overhead
+// gates this against the plain MineSweeper run.
+func BenchmarkMallocFree64_MineSweeperTelemetry(b *testing.B) {
+	benchMallocFreeCfg(b, minesweeper.Config{
+		Scheme:    minesweeper.SchemeMineSweeper,
+		Telemetry: true,
+	}, 64)
 }
 
 func BenchmarkMallocFree64_MarkUs(b *testing.B) {

@@ -9,11 +9,24 @@
 // carries every run plus the median, which is the number EXPERIMENTS.md
 // records (medians resist the occasional GC-noise outlier that means would
 // absorb).
+//
+// Gate mode compares two benchmarks from the same input and fails when the
+// probe's statistic (-stat median or min) exceeds the base's by more than the
+// allowed ratio — an ad-hoc regression check over any bench-json output
+// (note that two benchmarks from one binary share warm-up drift; for a
+// drift-proof pairing see make telemetry-overhead, which interleaves):
+//
+//	go test -run '^$' -bench 'BenchmarkMallocFree64_MineSweeper' -count=5 . \
+//	    | go run ./cmd/benchjson \
+//	        -base BenchmarkMallocFree64_MineSweeper \
+//	        -probe BenchmarkMallocFree64_MineSweeperTelemetry \
+//	        -max-ratio 1.03 -stat min
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -62,6 +75,12 @@ func splitName(s string) (string, int) {
 }
 
 func main() {
+	base := flag.String("base", "", "gate mode: base benchmark name (without -P suffix)")
+	probe := flag.String("probe", "", "gate mode: probe benchmark name compared against -base")
+	maxRatio := flag.Float64("max-ratio", 1.03, "gate mode: fail if probe exceeds base by this ratio")
+	stat := flag.String("stat", "median", "gate mode: statistic to compare, median or min (min resists warm-up drift)")
+	flag.Parse()
+
 	byName := make(map[string]*result)
 	var names []string // first-seen order
 
@@ -112,10 +131,71 @@ func main() {
 		r.MedianNsOp = median(r.NsPerOp)
 		out = append(out, r)
 	}
+
+	if *base != "" || *probe != "" {
+		if *base == "" || *probe == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: gate mode needs both -base and -probe")
+			os.Exit(2)
+		}
+		gate(out, *base, *probe, *maxRatio, *stat)
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
 		os.Exit(1)
 	}
+}
+
+// gate compares probe's statistic against base's and exits nonzero on a
+// regression beyond maxRatio. stat "min" compares fastest runs — the usual
+// estimator when early runs of a process carry warm-up cost that medians
+// would count as regression.
+func gate(results []*result, base, probe string, maxRatio float64, stat string) {
+	pick := func(r *result) float64 {
+		switch stat {
+		case "min":
+			m := r.NsPerOp[0]
+			for _, v := range r.NsPerOp[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			return m
+		case "median":
+			return r.MedianNsOp
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: gate: unknown -stat %q\n", stat)
+			os.Exit(2)
+			return 0
+		}
+	}
+	find := func(name string) *result {
+		for _, r := range results {
+			if r.Name == name && len(r.NsPerOp) > 0 {
+				return r
+			}
+		}
+		return nil
+	}
+	b, p := find(base), find(probe)
+	if b == nil || p == nil {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: missing %s and/or %s in input\n", base, probe)
+		os.Exit(2)
+	}
+	bv, pv := pick(b), pick(p)
+	if bv <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: base %s is %v\n", stat, bv)
+		os.Exit(2)
+	}
+	ratio := pv / bv
+	fmt.Printf("gate %s/%s (%s): %.1f ns / %.1f ns = %.4fx (limit %.2fx)\n",
+		probe, base, stat, pv, bv, ratio, maxRatio)
+	if ratio > maxRatio {
+		fmt.Fprintf(os.Stderr, "benchjson: gate FAILED: %.4fx > %.2fx\n", ratio, maxRatio)
+		os.Exit(1)
+	}
+	fmt.Println("gate OK")
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	msrun -bench xalancbmk -scheme minesweeper [-compare] [-scale 1] [-reps 1]
+//	msrun -bench xalancbmk -scheme minesweeper -telemetry [-telemetry-json snap.json]
 //	msrun -list
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
+	"minesweeper/internal/telemetry"
 	"minesweeper/internal/workload"
 )
 
@@ -30,7 +32,12 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions (median reported)")
 	list := flag.Bool("list", false, "list available profiles")
 	trace := flag.Bool("trace", false, "print the memory-over-time trace")
+	telem := flag.Bool("telemetry", false, "attach the telemetry registry and print per-sweep records and histograms")
+	telemJSON := flag.String("telemetry-json", "", "also write the telemetry snapshot as JSON to this file (implies -telemetry)")
 	flag.Parse()
+	if *telemJSON != "" {
+		*telem = true
+	}
 
 	if *list {
 		tb := metrics.NewTable("profile", "suite", "threads", "kernel")
@@ -59,6 +66,11 @@ func main() {
 		os.Exit(2)
 	}
 	opts := workload.Options{ScaleDiv: *scale}
+	var reg *telemetry.Registry
+	if *telem {
+		reg = telemetry.NewRegistry(telemetry.DefaultRingCap)
+		opts.Telemetry = reg
+	}
 
 	if *compare {
 		c, err := workload.Compare(prof, factory, opts, *reps)
@@ -72,6 +84,7 @@ func main() {
 		fmt.Printf("  avg memory    %s\n", metrics.FmtRatio(c.AvgMem))
 		fmt.Printf("  peak memory   %s\n", metrics.FmtRatio(c.PeakMem))
 		fmt.Printf("  cpu util      %s\n", metrics.FmtRatio(c.CPUUtil))
+		dumpTelemetry(reg, *telemJSON)
 		return
 	}
 	res, err := workload.Run(prof, factory, opts)
@@ -80,6 +93,34 @@ func main() {
 		os.Exit(1)
 	}
 	printResult(res, *trace)
+	dumpTelemetry(reg, *telemJSON)
+}
+
+// dumpTelemetry renders the registry's snapshot (sweep records, histograms,
+// gauges) after the run, and optionally writes the JSON form to a file for
+// msstat to render or diff later.
+func dumpTelemetry(reg *telemetry.Registry, jsonPath string) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("\ntelemetry:\n")
+	if err := snap.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msrun: rendering telemetry:", err)
+	}
+	if jsonPath == "" {
+		return
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrun:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "msrun: writing telemetry JSON:", err)
+		os.Exit(1)
+	}
 }
 
 func schemeByName(name string) (schemes.Factory, error) {
@@ -108,7 +149,7 @@ func printResult(r workload.Result, withTrace bool) {
 	fmt.Printf("  bytes swept   %s\n", metrics.FmtMiB(r.Stats.BytesSwept))
 	fmt.Printf("  sweeper busy  %v\n", time.Duration(r.Stats.SweeperCycles).Round(time.Millisecond))
 	fmt.Printf("  stw time      %v\n", time.Duration(r.Stats.STWCycles).Round(time.Microsecond))
-	fmt.Printf("  pause time    %v\n", time.Duration(r.Stats.PauseCycles).Round(time.Microsecond))
+	fmt.Printf("  pause time    %v\n", time.Duration(r.Stats.PauseNanos).Round(time.Microsecond))
 	fmt.Printf("  uaf faults    %d\n", r.UAFs)
 	if withTrace {
 		fmt.Println("  trace (ms, MiB):")

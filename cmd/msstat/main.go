@@ -1,0 +1,93 @@
+// Command msstat is a one-shot telemetry reporter, the simulated analogue of
+// pointing a stats tool at a process's /debug/vars. It either renders a
+// snapshot previously captured with msrun -telemetry-json, or runs a profile
+// itself with telemetry attached and reports what the run recorded.
+//
+// Usage:
+//
+//	msstat -in snap.json            # render a captured snapshot
+//	msstat -in snap.json -json      # normalise/validate: re-emit as JSON
+//	msstat -bench espresso -scheme minesweeper [-scale 8]   # capture + report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/telemetry"
+	"minesweeper/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "read a telemetry snapshot JSON file instead of running")
+	bench := flag.String("bench", "", "benchmark profile to run with telemetry attached")
+	scheme := flag.String("scheme", "minesweeper", "scheme to run the profile under")
+	scale := flag.Int("scale", 1, "divide the op budget by this factor")
+	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of text")
+	flag.Parse()
+
+	var snap telemetry.Snapshot
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err = telemetry.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("reading %s: %w", *in, err))
+		}
+	case *bench != "":
+		prof, ok := workload.FindProfile(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		factory, ok := schemeFor(*scheme)
+		if !ok {
+			fatal(fmt.Errorf("unknown scheme %q", *scheme))
+		}
+		reg := telemetry.NewRegistry(telemetry.DefaultRingCap)
+		if _, err := workload.Run(prof, factory, workload.Options{
+			ScaleDiv:  *scale,
+			Telemetry: reg,
+		}); err != nil {
+			fatal(err)
+		}
+		snap = reg.Snapshot()
+	default:
+		fmt.Fprintln(os.Stderr, "msstat: one of -in or -bench is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var err error
+	if *asJSON {
+		err = snap.WriteJSON(os.Stdout)
+	} else {
+		err = snap.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func schemeFor(name string) (schemes.Factory, bool) {
+	for _, k := range []schemes.Kind{
+		schemes.Baseline, schemes.MineSweeper, schemes.MineSweeperMostly,
+		schemes.MarkUs, schemes.FFMalloc, schemes.Scudo,
+		schemes.Oscar, schemes.DangSan, schemes.PSweeper, schemes.CRCount,
+	} {
+		if k.String() == name {
+			return schemes.New(k), true
+		}
+	}
+	return schemes.Factory{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msstat:", err)
+	os.Exit(1)
+}

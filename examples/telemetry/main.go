@@ -1,0 +1,74 @@
+// Telemetry: watching MineSweeper work.
+//
+// Run with:
+//
+//	go run ./examples/telemetry
+//
+// It runs an allocation churn under the MineSweeper scheme with the telemetry
+// registry attached, then prints the registry's snapshot: one record per
+// sweep (trigger cause, per-phase durations, pages scanned, entries released)
+// plus malloc/free latency histograms and quarantine gauges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	minesweeper "minesweeper"
+)
+
+func main() {
+	proc, err := minesweeper.NewProcess(minesweeper.Config{
+		Scheme:      minesweeper.SchemeMineSweeper,
+		Synchronous: true, // deterministic sweep timing for the demo
+		BufferCap:   1,
+		Telemetry:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proc.Close()
+
+	th, err := proc.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer th.Close()
+
+	// Churn: allocate a working set, free most of it, let sweeps trigger
+	// naturally, then force a final sweep so nothing stays quarantined.
+	var live []minesweeper.Addr
+	for i := 0; i < 20000; i++ {
+		p, err := th.Malloc(uint64(16 + i%2048))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := th.Store(p, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+		live = append(live, p)
+		if len(live) > 256 {
+			if err := th.Free(live[0]); err != nil {
+				log.Fatal(err)
+			}
+			live = live[1:]
+		}
+	}
+	for _, p := range live {
+		if err := th.Free(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	proc.Sweep()
+
+	reg := proc.Telemetry()
+	if reg == nil {
+		log.Fatal("telemetry not attached")
+	}
+	snap := reg.Snapshot()
+	fmt.Printf("observed %d sweeps (last %d retained):\n\n", snap.SweepsTotal, len(snap.Sweeps))
+	if err := snap.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -67,9 +67,9 @@ type Stats struct {
 	// STWCycles is virtual time mutators spent stopped for stop-the-world
 	// re-scans (mostly-concurrent mode only).
 	STWCycles uint64
-	// PauseCycles is virtual time mutators spent paused in Malloc because
-	// the quarantine overwhelmed the sweeper (§5.7).
-	PauseCycles uint64
+	// PauseNanos is wall-clock nanoseconds mutators spent paused in Malloc
+	// because the quarantine overwhelmed the sweeper (§5.7).
+	PauseNanos uint64
 	// BytesSwept is total bytes examined by marking passes.
 	BytesSwept uint64
 	// Purges counts allocator cleanup passes (decay or post-sweep).

@@ -39,6 +39,7 @@ import (
 	"minesweeper/internal/quarantine"
 	"minesweeper/internal/shadow"
 	"minesweeper/internal/sweep"
+	"minesweeper/internal/telemetry"
 )
 
 // Mode selects how sweeps are scheduled and synchronised.
@@ -126,6 +127,12 @@ type Config struct {
 	// DebugDoubleFree reports double frees as errors instead of absorbing
 	// them silently (the paper's debug mode, §3).
 	DebugDoubleFree bool
+
+	// Telemetry, when non-nil, receives per-sweep records, malloc/free/
+	// pause latency samples, and quarantine/arena gauges. Nil disables all
+	// instrumentation at the cost of one pointer load per operation; it can
+	// also be attached after construction with Heap.SetTelemetry.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's default configuration: fully concurrent,
@@ -176,6 +183,13 @@ type threadState struct {
 	// mallocsSincePause likewise amortises the allocation-side pause check
 	// (three atomic loads per Malloc otherwise). Owner-thread only.
 	mallocsSincePause int
+	// telMallocs/telFrees are the telemetry sampling countdown ticks:
+	// a live tick (> 1) decrements without touching shared state, and the
+	// op that exhausts it (or finds it <= 1: fresh thread, or registry
+	// detached) loads the registry, is timed into the latency histogram,
+	// and rearms from the current sample period. Owner-thread only.
+	telMallocs uint64
+	telFrees   uint64
 }
 
 // Heap is the MineSweeper-protected heap: alloc.Allocator over a jemalloc
@@ -213,6 +227,14 @@ type Heap struct {
 	lateDoubleFrees atomic.Uint64
 	stwNanos        atomic.Int64
 	pauseNanos      atomic.Int64
+
+	// Telemetry. tel is nil when disabled — every instrumented path loads
+	// it once and branches, so the disabled cost is a single predictable
+	// branch. trigReason latches the first cause that requested the
+	// currently pending sweep (values are telemetry.TriggerReason+1; zero
+	// means none, i.e. a forced sweep).
+	tel        atomic.Pointer[telemetry.Registry]
+	trigReason atomic.Uint32
 }
 
 var _ alloc.Allocator = (*Heap)(nil)
@@ -281,11 +303,49 @@ func (h *Heap) attach(sub alloc.Substrate) *Heap {
 	empty := make([]*threadState, 0)
 	h.threads.Store(&empty)
 
+	if cfg.Telemetry != nil {
+		h.SetTelemetry(cfg.Telemetry)
+	}
+
 	if cfg.Mode != Synchronous {
 		h.wg.Add(1)
 		go h.sweeperLoop()
 	}
 	return h
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry registry. Safe
+// to call at any time, including while mutators run: the hot paths read the
+// registry through one atomic pointer. Attaching registers the quarantine
+// and sweep gauges, plus per-arena-shard occupancy when the substrate is the
+// jemalloc heap.
+func (h *Heap) SetTelemetry(reg *telemetry.Registry) {
+	h.tel.Store(reg)
+	if reg == nil {
+		return
+	}
+	reg.RegisterGauge("quarantine_entries", h.q.Entries)
+	reg.RegisterGauge("quarantine_bytes", h.q.Bytes)
+	reg.RegisterGauge("quarantine_unmapped_bytes", h.q.UnmappedBytes)
+	reg.RegisterGauge("quarantine_failed_bytes", h.q.FailedBytes)
+	reg.RegisterGauge("quarantine_epoch", h.q.Epoch)
+	// Age of the oldest pending free, in sweep epochs: how long work has
+	// been waiting for the sweeper.
+	reg.RegisterGauge("quarantine_age_epochs", func() uint64 {
+		return h.q.Epoch() - h.q.OldestPendingEpoch()
+	})
+	reg.RegisterGauge("sweep_pages_scanned_total", h.sw.PagesSwept)
+	reg.RegisterGauge("sweep_zero_skipped_bytes_total", h.sw.ZeroSkippedBytes)
+	if jh, ok := h.sub.(*jemalloc.Heap); ok {
+		for i := 0; i < jh.NumArenas(); i++ {
+			reg.RegisterGauge(fmt.Sprintf("arena_shard%d_live_regs", i), func() uint64 {
+				return uint64(jh.ShardStats(i).CurRegs)
+			})
+			reg.RegisterGauge(fmt.Sprintf("arena_shard%d_extents", i), func() uint64 {
+				return uint64(jh.ShardStats(i).Extents)
+			})
+		}
+	}
 }
 
 // msHooks wraps the default extent hooks with MineSweeper's unmapped-page
@@ -402,8 +462,31 @@ func (h *Heap) threadState(tid alloc.ThreadID) *threadState {
 // check is amortised like the sweep-trigger check: the threshold is an
 // emergency brake, so evaluating it every sweepCheckInterval mallocs delays
 // the brake by at most a handful of small allocations.
+//
+// With telemetry attached, the call's latency — including any §5.7 pause —
+// lands in the malloc histogram on the thread's stripe; detached, the only
+// cost is the pointer load and branch.
 func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 	ts := h.threadState(tid)
+	// Telemetry sampling, countdown-tick style: a live tick (> 1, meaning a
+	// registry armed it) decrements on the thread's own state and goes
+	// straight to the fast path — no shared access, not even the registry
+	// pointer load. Only the op that exhausts the tick (or finds it in the
+	// fresh/detached <= 1 state) loads the registry, rearms from the current
+	// SamplePeriod, and pays the two time.Now calls.
+	if ts != nil && ts.telMallocs > 1 {
+		ts.telMallocs--
+	} else if tel := h.tel.Load(); tel != nil && ts != nil {
+		ts.telMallocs = tel.SamplePeriod()
+		start := time.Now()
+		a, err := h.malloc(tid, ts, size)
+		tel.Malloc.RecordShard(int(tid), uint64(time.Since(start)))
+		return a, err
+	}
+	return h.malloc(tid, ts, size)
+}
+
+func (h *Heap) malloc(tid alloc.ThreadID, ts *threadState, size uint64) (uint64, error) {
 	if ts == nil {
 		h.maybePause(tid)
 	} else if ts.mallocsSincePause++; ts.mallocsSincePause >= sweepCheckInterval {
@@ -459,6 +542,7 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		if qz != nil {
 			qz.BeginQuiescent()
 		}
+		h.noteTrigger(telemetry.TriggerPause)
 		h.genMu.Lock()
 		gen := h.sweepGen
 		h.requestSweep()
@@ -469,8 +553,27 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		if qz != nil {
 			qz.EndQuiescent()
 		}
-		h.pauseNanos.Add(int64(time.Since(start)))
+		stall := time.Since(start)
+		h.pauseNanos.Add(int64(stall))
+		if tel := h.tel.Load(); tel != nil {
+			tel.Pause.Record(uint64(stall))
+		}
 	}
+}
+
+// noteTrigger latches the cause of the next sweep (first cause wins; the
+// record is cleared when the sweep runs). Harmless without telemetry — one
+// uncontended CAS per trigger, and triggers are rare next to frees.
+func (h *Heap) noteTrigger(r telemetry.TriggerReason) {
+	h.trigReason.CompareAndSwap(0, uint32(r)+1)
+}
+
+// takeTrigger consumes the latched trigger cause for the sweep now running.
+func (h *Heap) takeTrigger() telemetry.TriggerReason {
+	if v := h.trigReason.Swap(0); v != 0 {
+		return telemetry.TriggerReason(v - 1)
+	}
+	return telemetry.TriggerForced
 }
 
 // Free implements alloc.Allocator: the paper's free() interception. The
@@ -478,6 +581,21 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 // ref rides in the quarantine entry so the sweep's recycle phase can free
 // without a second page-map lookup.
 func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
+	ts := h.threadState(tid)
+	// Countdown-tick sampling; see Malloc.
+	if ts != nil && ts.telFrees > 1 {
+		ts.telFrees--
+	} else if tel := h.tel.Load(); tel != nil && ts != nil {
+		ts.telFrees = tel.SamplePeriod()
+		start := time.Now()
+		err := h.free(tid, ts, addr)
+		tel.Free.RecordShard(int(tid), uint64(time.Since(start)))
+		return err
+	}
+	return h.free(tid, ts, addr)
+}
+
+func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 	a, ref, ok := h.sub.Resolve(addr)
 	if !ok || a.Base != addr {
 		if h.q.Contains(addr) {
@@ -506,7 +624,6 @@ func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
 		return h.sub.FreeResolved(h.subTidFor(tid), ref, addr)
 	}
 
-	ts := h.threadState(tid)
 	var e *quarantine.Entry
 	if ts != nil {
 		e = ts.tbuf.NewEntry(a.Base, a.Size) // lock-free in the common case
@@ -565,13 +682,16 @@ func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
 	heapB := h.sub.AllocatedBytes()
 	effQ := qb - min64(qb, fb)
 	effH := heapB - min64(heapB, fb)
+	reason := telemetry.TriggerThreshold
 	trigger := float64(effQ) > h.cfg.SweepThreshold*float64(effH)
 	if !trigger && h.cfg.UnmappedFactor > 0 {
 		trigger = float64(h.q.UnmappedBytes()) > h.cfg.UnmappedFactor*float64(h.space.RSS())
+		reason = telemetry.TriggerUnmapped
 	}
 	if !trigger {
 		return
 	}
+	h.noteTrigger(reason)
 	// Our thread's buffered frees must be in the global list to be swept.
 	if ts := h.threadState(tid); ts != nil {
 		ts.tbuf.Flush()
@@ -605,38 +725,76 @@ func (h *Heap) sweeperLoop() {
 }
 
 // runSweep performs one complete sweep: lock-in, mark, optional STW re-scan,
-// filter-and-recycle, shadow clear, purge (§3.1, §4).
+// filter-and-recycle, shadow clear, purge (§3.1, §4). With telemetry
+// attached it emits one SweepRecord — trigger cause, per-phase durations and
+// work figures — per sweep that had anything to do.
 func (h *Heap) runSweep() {
 	h.sweepMu.Lock()
 	defer h.sweepMu.Unlock()
 
+	tel := h.tel.Load()
+	reason := h.takeTrigger()
 	locked := h.q.LockIn()
 	if len(locked) > 0 {
+		rec := telemetry.SweepRecord{
+			Trigger:       reason,
+			EntriesLocked: uint64(len(locked)),
+			Workers:       h.sw.Workers(),
+		}
+		var sweepStart, t0 time.Time
+		if tel != nil {
+			sweepStart = time.Now()
+		}
 		if h.cfg.Sweeping {
 			if h.cfg.Mode == MostlyConcurrent {
 				h.space.ClearSoftDirty()
 			}
-			h.sw.MarkAll()
+			ps := h.sw.MarkAllStats()
+			rec.MarkNanos = ps.ElapsedNanos
+			rec.PagesScanned = ps.PagesScanned
+			rec.BytesScanned = ps.BytesScanned
+			rec.BytesZeroSkipped = ps.ZeroSkippedBytes
 			if h.cfg.Mode == MostlyConcurrent {
 				start := time.Now()
 				if h.cfg.World != nil {
 					h.cfg.World.Stop()
 				}
-				h.sw.MarkDirty()
+				dp := h.sw.MarkDirtyStats()
+				rec.PagesScanned += dp.PagesScanned
+				rec.BytesScanned += dp.BytesScanned
+				rec.BytesZeroSkipped += dp.ZeroSkippedBytes
 				if h.cfg.World != nil {
 					h.cfg.World.Start()
 				}
-				h.stwNanos.Add(int64(time.Since(start)))
+				stw := time.Since(start)
+				h.stwNanos.Add(int64(stw))
+				rec.DirtyNanos = int64(stw)
 			}
 		}
-		h.filterAndRecycle(locked)
+		if tel != nil {
+			t0 = time.Now()
+		}
+		rec.Released, rec.Retained = h.filterAndRecycle(locked)
+		if tel != nil {
+			rec.RecycleNanos = time.Since(t0).Nanoseconds()
+		}
 		if h.cfg.Sweeping {
 			h.marks.ClearAll()
 		}
 		if h.cfg.Purging {
+			if tel != nil {
+				t0 = time.Now()
+			}
 			h.sub.PurgeAll()
+			if tel != nil {
+				rec.PurgeNanos = time.Since(t0).Nanoseconds()
+			}
 		}
 		h.sweeps.Add(1)
+		if tel != nil {
+			rec.TotalNanos = time.Since(sweepStart).Nanoseconds()
+			tel.ObserveSweep(rec)
+		}
 	}
 
 	h.genMu.Lock()
@@ -656,8 +814,9 @@ const releaseBatchSize = 256
 // is divided equally among the sweep workers (§4.4); each worker batches the
 // entries it releases and frees them through the substrate's FreeBatch, so
 // recycling n entries costs locks proportional to the number of (shard,
-// class) groups, not to n.
-func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
+// class) groups, not to n. Returns how many entries were released to the
+// substrate and how many were retained (requeued as failed frees).
+func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) (released, retained uint64) {
 	start := time.Now()
 	workers := len(h.recycleTids)
 	if workers > len(locked) {
@@ -743,11 +902,14 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) {
 	wg.Wait()
 	for _, fails := range failed {
 		if len(fails) > 0 {
+			retained += uint64(len(fails))
 			h.q.Requeue(fails)
 		}
 	}
+	released = uint64(len(locked)) - retained
 	h.q.Reclaim(locked)
 	h.sw.AddBusyTime(sweep.BusyShare(time.Since(start), workers))
+	return released, retained
 }
 
 // Sweep forces a complete sweep synchronously (tests and shutdown). All
@@ -793,7 +955,7 @@ func (h *Heap) Stats() alloc.Stats {
 	st.DoubleFrees = h.q.DoubleFrees() + h.lateDoubleFrees.Load()
 	st.SweeperCycles = uint64(h.sw.BusyTime())
 	st.STWCycles = uint64(h.stwNanos.Load())
-	st.PauseCycles = uint64(h.pauseNanos.Load())
+	st.PauseNanos = uint64(h.pauseNanos.Load())
 	st.BytesSwept = h.sw.BytesSwept()
 	return st
 }

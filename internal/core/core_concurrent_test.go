@@ -191,7 +191,7 @@ func TestPauseOnOverwhelm(t *testing.T) {
 		}
 	}
 	_ = h.Free(id, keep)
-	if h.Stats().PauseCycles == 0 {
+	if h.Stats().PauseNanos == 0 {
 		t.Error("no pause time recorded under overwhelming churn")
 	}
 	if h.Stats().Sweeps == 0 {

@@ -110,6 +110,53 @@ func (h *Heap) DetailedStats() DetailedStats {
 	return d
 }
 
+// ShardStatsSnapshot is one arena shard's occupancy summary, cheap enough to
+// sample from a telemetry gauge: it takes only that shard's locks.
+type ShardStatsSnapshot struct {
+	// Extents is the shard arena's total extents ever mapped.
+	Extents int
+	// Slabs is the number of live slabs across the shard's bins.
+	Slabs int
+	// CurRegs is the number of allocated regions across those slabs.
+	CurRegs int
+}
+
+// ShardStats gathers one shard's occupancy figures (extents, live slabs,
+// allocated regions). Unlike DetailedStats it touches a single shard, so
+// periodic per-shard sampling does not serialise the whole heap.
+func (h *Heap) ShardStats(s int) ShardStatsSnapshot {
+	var out ShardStatsSnapshot
+	if s < 0 || s >= len(h.shards) {
+		return out
+	}
+	sh := &h.shards[s]
+	sh.arena.mu.Lock()
+	out.Extents = sh.arena.nExtents
+	sh.arena.mu.Unlock()
+	for c := 0; c < NumClasses(); c++ {
+		regs := SlabRegions(c)
+		b := &sh.bins[c]
+		b.mu.Lock()
+		if b.nslabs == 0 {
+			b.mu.Unlock()
+			continue
+		}
+		counted := 0
+		if b.current != nil {
+			out.CurRegs += b.current.nregs - b.current.nfree
+			counted++
+		}
+		for _, sl := range b.nonfull {
+			out.CurRegs += sl.nregs - sl.nfree
+			counted++
+		}
+		out.CurRegs += (b.nslabs - counted) * regs
+		out.Slabs += b.nslabs
+		b.mu.Unlock()
+	}
+	return out
+}
+
 // String renders the snapshot in a malloc_stats_print-like layout.
 func (d DetailedStats) String() string {
 	var b strings.Builder

@@ -31,6 +31,7 @@ type Sampler struct {
 	stop    chan struct{}
 	done    chan struct{}
 	start   time.Time
+	stopped bool
 }
 
 // NewSampler returns a sampler that calls read every interval.
@@ -40,8 +41,11 @@ func NewSampler(read func() uint64, interval time.Duration) *Sampler {
 
 // Start begins sampling in a background goroutine.
 func (s *Sampler) Start() {
+	s.mu.Lock()
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
+	s.stopped = false
+	s.mu.Unlock()
 	s.start = time.Now()
 	go func() {
 		defer close(s.done)
@@ -61,8 +65,18 @@ func (s *Sampler) Start() {
 	}()
 }
 
-// Stop ends sampling and records one final sample.
+// Stop ends sampling and records one final sample. It is safe to call
+// without a prior Start (nothing was sampling; no final sample is taken) and
+// safe to call repeatedly — only the first Stop after a Start ends the
+// sampling goroutine and appends the final sample.
 func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if s.stop == nil || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
 	close(s.stop)
 	<-s.done
 	v := s.read()

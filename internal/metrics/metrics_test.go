@@ -57,6 +57,31 @@ func TestSampler(t *testing.T) {
 	}
 }
 
+func TestSamplerStopWithoutStart(t *testing.T) {
+	// Regression: Stop without Start used to close a nil channel and panic.
+	s := NewSampler(func() uint64 { return 1 }, time.Millisecond)
+	s.Stop()
+	if n := len(s.Samples()); n != 0 {
+		t.Errorf("Stop without Start recorded %d samples, want 0", n)
+	}
+	// Repeated Stop after a real Start/Stop cycle is also safe and must not
+	// append extra final samples.
+	s.Start()
+	s.Stop()
+	n := len(s.Samples())
+	s.Stop()
+	s.Stop()
+	if got := len(s.Samples()); got != n {
+		t.Errorf("repeated Stop grew samples from %d to %d", n, got)
+	}
+	// The sampler can start again after stopping.
+	s.Start()
+	s.Stop()
+	if got := len(s.Samples()); got <= n {
+		t.Errorf("restart recorded no samples (still %d)", got)
+	}
+}
+
 func TestSamplerEmptyAvgPeak(t *testing.T) {
 	s := NewSampler(func() uint64 { return 1 }, time.Hour)
 	if s.Avg() != 0 || s.Peak() != 0 {

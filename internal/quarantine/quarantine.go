@@ -446,6 +446,20 @@ func (q *Quarantine) DoubleFrees() uint64 { return q.doubleFrees.Load() }
 // Epoch returns the current sweep epoch.
 func (q *Quarantine) Epoch() uint64 { return q.epoch.Load() }
 
+// OldestPendingEpoch returns the quarantine epoch of the oldest entry still
+// on the pending list, or the current epoch when the list is empty. The
+// difference Epoch() - OldestPendingEpoch() is how many sweeps the most
+// stubborn pending entry has been waiting (e.g. a failed free being retried),
+// which telemetry exports as quarantine age.
+func (q *Quarantine) OldestPendingEpoch() uint64 {
+	q.pendMu.Lock()
+	defer q.pendMu.Unlock()
+	if len(q.pending) == 0 {
+		return q.epoch.Load()
+	}
+	return q.pending[0].Epoch
+}
+
 // ForEach calls fn for a snapshot of every quarantined entry. Entries
 // quarantined or released concurrently may or may not be visited. The
 // entries must not be mutated.

@@ -69,8 +69,26 @@ type Sweeper struct {
 	chunks  []chunk  // reusable work queue, valid only during a pass
 	stripes []stripe // reusable per-worker ticket ranges
 
-	bytesSwept atomic.Uint64
-	busyNanos  atomic.Int64 // summed worker busy time (CPU usage meter)
+	bytesSwept  atomic.Uint64
+	pagesSwept  atomic.Uint64
+	zeroSkipped atomic.Uint64 // bytes skipped by the zero-group compare
+	busyNanos   atomic.Int64  // summed worker busy time (CPU usage meter)
+}
+
+// PassStats describes one marking pass: how much was scanned, how much of it
+// the zero-skip compare short-circuited, and the parallelism that did the
+// work. The telemetry layer folds one into each per-sweep record.
+type PassStats struct {
+	// BytesScanned and PagesScanned cover resident pages examined.
+	BytesScanned uint64
+	PagesScanned uint64
+	// ZeroSkippedBytes is bytes dismissed eight words at a time by the
+	// zero-group compare — the zero-on-free dividend (§4.1).
+	ZeroSkippedBytes uint64
+	// Workers is the number of workers that ran the pass.
+	Workers int
+	// ElapsedNanos is the pass's wall time.
+	ElapsedNanos int64
 }
 
 // New returns a Sweeper marking into marks with the given helper count
@@ -142,7 +160,7 @@ func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
 // zero-on-free heap most of the heap is zeros, and purged or freshly
 // committed pages are entirely so. The heap filter is one subtract and one
 // unsigned compare per surviving word.
-func scanPageWords(words []uint64, mk *shadow.Marker) {
+func scanPageWords(words []uint64, mk *shadow.Marker) (zeroWords int) {
 	const span = mem.HeapLimit - mem.HeapBase
 	i := 0
 	for ; i+8 <= len(words); i += 8 {
@@ -155,6 +173,7 @@ func scanPageWords(words []uint64, mk *shadow.Marker) {
 		v6 := atomic.LoadUint64(&words[i+6])
 		v7 := atomic.LoadUint64(&words[i+7])
 		if v0|v1|v2|v3|v4|v5|v6|v7 == 0 {
+			zeroWords += 8
 			continue
 		}
 		if v0-mem.HeapBase < span {
@@ -183,18 +202,24 @@ func scanPageWords(words []uint64, mk *shadow.Marker) {
 		}
 	}
 	for ; i < len(words); i++ {
-		if v := atomic.LoadUint64(&words[i]); v-mem.HeapBase < span {
+		v := atomic.LoadUint64(&words[i])
+		if v == 0 {
+			zeroWords++
+			continue
+		}
+		if v-mem.HeapBase < span {
 			mk.Mark(v)
 		}
 	}
+	return zeroWords
 }
 
 // scanChunk marks pointer targets in one chunk through the worker's marker,
-// returning bytes scanned.
-func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) uint64 {
-	var scanned uint64
+// returning bytes scanned, pages scanned, and bytes skipped as zero groups.
+func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages int, zeroBytes uint64) {
 	r := c.r
-	scan := func(words []uint64) { scanPageWords(words, mk) }
+	var zeroWords int
+	scan := func(words []uint64) { zeroWords += scanPageWords(words, mk) }
 	for p := c.pageFirst; p < c.pageAfter; p++ {
 		if c.dirtyOnly && !r.PageDirty(p) {
 			continue
@@ -204,9 +229,10 @@ func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) uint64 {
 		// half-zeroed memory.
 		if r.ScanPageWords(p, scan) {
 			scanned += mem.PageSize
+			pages++
 		}
 	}
-	return scanned
+	return scanned, pages, uint64(zeroWords) * 8
 }
 
 // run executes all chunks across the main goroutine plus helpers, returning
@@ -215,9 +241,9 @@ func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) uint64 {
 // phase-elapsed time times the worker parallelism actually available, so an
 // oversubscribed host does not inflate the CPU-utilisation meter with
 // scheduler preemption. Caller holds runMu.
-func (s *Sweeper) run(chunks []chunk) uint64 {
+func (s *Sweeper) run(chunks []chunk) PassStats {
 	if len(chunks) == 0 {
-		return 0
+		return PassStats{Workers: 1}
 	}
 	workers := s.helpers + 1
 	if workers > len(chunks) {
@@ -238,10 +264,11 @@ func (s *Sweeper) run(chunks []chunk) uint64 {
 		stripes[i].end = int64(lo + n)
 		lo += n
 	}
-	var total atomic.Uint64
+	var total, totalPages, totalZero atomic.Uint64
 	worker := func(id int) {
 		mk := s.marks.NewMarker()
-		var scanned uint64
+		var scanned, zero uint64
+		var pages int
 		for off := 0; off < len(stripes); off++ {
 			st := &stripes[(id+off)%len(stripes)]
 			for {
@@ -249,11 +276,16 @@ func (s *Sweeper) run(chunks []chunk) uint64 {
 				if i >= st.end {
 					break
 				}
-				scanned += s.scanChunk(chunks[i], mk)
+				sc, pg, zb := s.scanChunk(chunks[i], mk)
+				scanned += sc
+				pages += pg
+				zero += zb
 			}
 		}
 		mk.Flush()
 		total.Add(scanned)
+		totalPages.Add(uint64(pages))
+		totalZero.Add(zero)
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -266,10 +298,19 @@ func (s *Sweeper) run(chunks []chunk) uint64 {
 	}
 	worker(0)
 	wg.Wait()
-	s.busyNanos.Add(int64(BusyShare(time.Since(start), workers)))
-	n := total.Load()
-	s.bytesSwept.Add(n)
-	return n
+	elapsed := time.Since(start)
+	s.busyNanos.Add(int64(BusyShare(elapsed, workers)))
+	ps := PassStats{
+		BytesScanned:     total.Load(),
+		PagesScanned:     totalPages.Load(),
+		ZeroSkippedBytes: totalZero.Load(),
+		Workers:          workers,
+		ElapsedNanos:     elapsed.Nanoseconds(),
+	}
+	s.bytesSwept.Add(ps.BytesScanned)
+	s.pagesSwept.Add(ps.PagesScanned)
+	s.zeroSkipped.Add(ps.ZeroSkippedBytes)
+	return ps
 }
 
 // BusyShare estimates the CPU time a background phase of the given worker
@@ -296,7 +337,11 @@ func BusyShare(elapsed time.Duration, workers int) time.Duration {
 // every word that could be a heap pointer. It runs concurrently with
 // mutators (their stores are atomic, as are our loads) and returns the
 // number of bytes scanned.
-func (s *Sweeper) MarkAll() uint64 {
+func (s *Sweeper) MarkAll() uint64 { return s.MarkAllStats().BytesScanned }
+
+// MarkAllStats is MarkAll returning the full pass statistics for the
+// telemetry layer's per-sweep records.
+func (s *Sweeper) MarkAllStats() PassStats {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	return s.run(s.collectChunks(false))
@@ -305,7 +350,10 @@ func (s *Sweeper) MarkAll() uint64 {
 // MarkDirty re-scans only pages whose soft-dirty bit is set. The caller is
 // expected to have cleared soft-dirty bits before MarkAll and stopped the
 // world around this call (mostly-concurrent mode).
-func (s *Sweeper) MarkDirty() uint64 {
+func (s *Sweeper) MarkDirty() uint64 { return s.MarkDirtyStats().BytesScanned }
+
+// MarkDirtyStats is MarkDirty returning the full pass statistics.
+func (s *Sweeper) MarkDirtyStats() PassStats {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	return s.run(s.collectChunks(true))
@@ -313,6 +361,13 @@ func (s *Sweeper) MarkDirty() uint64 {
 
 // BytesSwept returns the cumulative bytes scanned across all passes.
 func (s *Sweeper) BytesSwept() uint64 { return s.bytesSwept.Load() }
+
+// PagesSwept returns the cumulative resident pages scanned across all passes.
+func (s *Sweeper) PagesSwept() uint64 { return s.pagesSwept.Load() }
+
+// ZeroSkippedBytes returns the cumulative bytes the scan loop dismissed as
+// all-zero groups — the zero-on-free dividend (§4.1).
+func (s *Sweeper) ZeroSkippedBytes() uint64 { return s.zeroSkipped.Load() }
 
 // BusyTime returns cumulative worker busy time — the additional CPU usage
 // the paper reports in Figure 12.

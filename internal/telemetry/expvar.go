@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+// published guards against double-publishing a name: expvar.Publish panics on
+// reuse, and a long-lived process may rebuild its heap (and registry) many
+// times. Re-publishing a name atomically swaps the registry the variable
+// reads from instead.
+var (
+	publishMu sync.Mutex
+	published = map[string]*registryVar{}
+)
+
+// registryVar is the expvar.Var backing one published name.
+type registryVar struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+func (v *registryVar) current() *Registry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reg
+}
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable name
+// (e.g. "minesweeper"), so any process already serving /debug/vars exports
+// MineSweeper telemetry with zero extra plumbing. Calling it again with the
+// same name rebinds the variable to the new registry.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if v, ok := published[name]; ok {
+		v.mu.Lock()
+		v.reg = r
+		v.mu.Unlock()
+		return
+	}
+	v := &registryVar{reg: r}
+	published[name] = v
+	expvar.Publish(name, expvar.Func(func() any {
+		return v.current().Snapshot()
+	}))
+}

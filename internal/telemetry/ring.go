@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+)
+
+// TriggerReason records why a sweep ran (§3.2, §4.2, §5.7).
+type TriggerReason uint8
+
+// Sweep trigger reasons.
+const (
+	// TriggerForced is an explicit Sweep() call (tests, shutdown).
+	TriggerForced TriggerReason = iota
+	// TriggerThreshold is the standard quarantine-fraction trigger (§3.2).
+	TriggerThreshold
+	// TriggerUnmapped is the unmapped-bytes-vs-RSS trigger (§4.2).
+	TriggerUnmapped
+	// TriggerPause is a sweep requested by a paused allocating thread
+	// (§5.7).
+	TriggerPause
+)
+
+// String returns the reason's name.
+func (t TriggerReason) String() string {
+	switch t {
+	case TriggerForced:
+		return "forced"
+	case TriggerThreshold:
+		return "threshold"
+	case TriggerUnmapped:
+		return "unmapped"
+	case TriggerPause:
+		return "pause"
+	default:
+		return fmt.Sprintf("TriggerReason(%d)", int(t))
+	}
+}
+
+// MarshalJSON renders the reason as its name, so exported snapshots are
+// self-describing.
+func (t TriggerReason) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts either the name or the numeric value.
+func (t *TriggerReason) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		for _, r := range []TriggerReason{TriggerForced, TriggerThreshold, TriggerUnmapped, TriggerPause} {
+			if r.String() == s {
+				*t = r
+				return nil
+			}
+		}
+		return fmt.Errorf("telemetry: unknown trigger reason %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*t = TriggerReason(n)
+	return nil
+}
+
+// SweepRecord is one structured per-sweep record: what triggered the sweep,
+// how long each phase took, and what the sweep accomplished. One is emitted
+// per completed sweep and kept in the registry's ring buffer.
+type SweepRecord struct {
+	// Seq is the sweep's ordinal (1 = first sweep observed).
+	Seq uint64 `json:"seq"`
+	// Trigger is why the sweep ran.
+	Trigger TriggerReason `json:"trigger"`
+
+	// Per-phase durations in nanoseconds (§3.1, §4.3, §4.4, §4.5). Phases
+	// that did not run (e.g. DirtyNanos outside mostly-concurrent mode)
+	// are zero.
+	MarkNanos    int64 `json:"mark_ns"`
+	DirtyNanos   int64 `json:"dirty_ns"`   // soft-dirty STW re-scan
+	RecycleNanos int64 `json:"recycle_ns"` // filter + FreeBatch release
+	PurgeNanos   int64 `json:"purge_ns"`
+	TotalNanos   int64 `json:"total_ns"`
+
+	// Marking-phase work figures.
+	PagesScanned uint64 `json:"pages_scanned"`
+	BytesScanned uint64 `json:"bytes_scanned"`
+	// BytesZeroSkipped is bytes the scan loop skipped via the 8-wide
+	// zero-group compare — the zero-on-free dividend.
+	BytesZeroSkipped uint64 `json:"bytes_zero_skipped"`
+
+	// Quarantine outcome figures.
+	EntriesLocked uint64 `json:"entries_locked"`
+	Released      uint64 `json:"released"`
+	Retained      uint64 `json:"retained"` // failed frees kept in quarantine
+	// Workers is the sweep worker count (main + helpers) that marked; the
+	// helper-utilisation figure of §4.4.
+	Workers int `json:"workers"`
+}
+
+// DefaultRingCap is the default number of sweep records retained.
+const DefaultRingCap = 256
+
+// SweepRing is a lock-free ring buffer of the last N sweep records. Writers
+// claim a slot with one atomic add and publish an immutable record with one
+// atomic pointer store; readers never block writers.
+type SweepRing struct {
+	slots []atomic.Pointer[SweepRecord]
+	next  atomic.Uint64
+}
+
+// NewSweepRing returns a ring retaining the last capN records, rounded up to
+// a power of two (DefaultRingCap if capN <= 0).
+func NewSweepRing(capN int) *SweepRing {
+	if capN <= 0 {
+		capN = DefaultRingCap
+	}
+	n := 1
+	for n < capN {
+		n <<= 1
+	}
+	return &SweepRing{slots: make([]atomic.Pointer[SweepRecord], n)}
+}
+
+// Push appends rec, overwriting the oldest record once the ring is full, and
+// returns the record's sequence number (starting at 1). The stored copy is
+// private to the ring, so callers may reuse rec.
+func (r *SweepRing) Push(rec SweepRecord) uint64 {
+	seq := r.next.Add(1)
+	rec.Seq = seq
+	c := rec
+	r.slots[(seq-1)&uint64(len(r.slots)-1)].Store(&c)
+	return seq
+}
+
+// Len returns the number of records currently retained.
+func (r *SweepRing) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Total returns the number of records ever pushed.
+func (r *SweepRing) Total() uint64 { return r.next.Load() }
+
+// Snapshot returns the retained records, oldest first. Records pushed while
+// snapshotting may be included or not; each returned record is internally
+// consistent (publication is a single pointer store).
+func (r *SweepRing) Snapshot() []SweepRecord {
+	hi := r.next.Load()
+	lo := uint64(0)
+	if hi > uint64(len(r.slots)) {
+		lo = hi - uint64(len(r.slots))
+	}
+	out := make([]SweepRecord, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		p := r.slots[s&uint64(len(r.slots)-1)].Load()
+		if p == nil {
+			continue // claimed but not yet published
+		}
+		// A slot lapped by a concurrent writer holds a newer record;
+		// keep only the record this slot held at sequence s+1 so the
+		// result stays ordered oldest-first.
+		if p.Seq == s+1 {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"math/bits"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("lat", "ns", 1)
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h.Record(c.v)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", s.Count, len(cases))
+	}
+	for _, c := range cases {
+		if got := bits.Len64(c.v); got != c.bucket {
+			t.Errorf("bucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if s.Buckets[c.bucket] == 0 {
+			t.Errorf("bucket %d empty after recording %d", c.bucket, c.v)
+		}
+	}
+	// Bucket invariant: v in [BucketUpper(b-1), BucketUpper(b)) for b >= 2.
+	for _, c := range cases {
+		if c.bucket >= 2 && c.bucket < 64 {
+			if c.v < BucketUpper(c.bucket-1) || c.v >= BucketUpper(c.bucket) {
+				t.Errorf("value %d outside bucket %d bounds [%d, %d)",
+					c.v, c.bucket, BucketUpper(c.bucket-1), BucketUpper(c.bucket))
+			}
+		}
+	}
+}
+
+func TestHistogramShardMerge(t *testing.T) {
+	h := NewHistogram("lat", "ns", 4)
+	const per = 1000
+	for shard := 0; shard < 4; shard++ {
+		for i := 0; i < per; i++ {
+			h.RecordShard(shard, uint64(100+shard))
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 4*per {
+		t.Fatalf("merged Count = %d, want %d", s.Count, 4*per)
+	}
+	wantSum := uint64(per * (100 + 101 + 102 + 103))
+	if s.Sum != wantSum {
+		t.Fatalf("merged Sum = %d, want %d", s.Sum, wantSum)
+	}
+	// All values land in bucket 7 ([64, 128)).
+	if s.Buckets[7] != 4*per {
+		t.Fatalf("bucket 7 = %d, want %d", s.Buckets[7], 4*per)
+	}
+	// Negative hints must not panic (ThreadIDs are int32 and could in
+	// principle be mis-cast).
+	h.RecordShard(-3, 5)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("lat", "ns", 1)
+	for i := 0; i < 99; i++ {
+		h.Record(10) // bucket 4, upper bound 16
+	}
+	h.Record(1 << 20) // one outlier
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 16 {
+		t.Errorf("p50 = %d, want 16", q)
+	}
+	if q := s.Quantile(1.0); q != 1<<21 {
+		t.Errorf("p100 = %d, want %d", q, 1<<21)
+	}
+	if m := s.Max(); m != 1<<21 {
+		t.Errorf("Max = %d, want %d", m, 1<<21)
+	}
+	if s.Quantile(0.5) > s.Quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/max/mean not zero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram("a", "ns", 2)
+	b := NewHistogram("b", "ns", 2)
+	a.Record(5)
+	b.Record(500)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 2 || m.Sum != 505 {
+		t.Fatalf("merged count/sum = %d/%d, want 2/505", m.Count, m.Sum)
+	}
+}
+
+func TestSweepRingWraparound(t *testing.T) {
+	r := NewSweepRing(4)
+	for i := 0; i < 10; i++ {
+		r.Push(SweepRecord{TotalNanos: int64(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		wantSeq := uint64(7 + i)
+		if rec.Seq != wantSeq {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, rec.Seq, wantSeq)
+		}
+		if rec.TotalNanos != int64(wantSeq-1) {
+			t.Errorf("snap[%d].TotalNanos = %d, want %d", i, rec.TotalNanos, wantSeq-1)
+		}
+	}
+}
+
+func TestSweepRingCapRounding(t *testing.T) {
+	if n := len(NewSweepRing(5).slots); n != 8 {
+		t.Errorf("cap 5 rounds to %d slots, want 8", n)
+	}
+	if n := len(NewSweepRing(0).slots); n != DefaultRingCap {
+		t.Errorf("cap 0 gives %d slots, want %d", n, DefaultRingCap)
+	}
+}
+
+func TestTriggerReasonJSON(t *testing.T) {
+	for _, r := range []TriggerReason{TriggerForced, TriggerThreshold, TriggerUnmapped, TriggerPause} {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got TriggerReason
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != r {
+			t.Errorf("round-trip %v -> %s -> %v", r, b, got)
+		}
+	}
+	var got TriggerReason
+	if err := json.Unmarshal([]byte(`"nonsense"`), &got); err == nil {
+		t.Error("unknown reason name did not error")
+	}
+	if err := json.Unmarshal([]byte(`2`), &got); err != nil || got != TriggerUnmapped {
+		t.Errorf("numeric reason = %v, %v; want TriggerUnmapped, nil", got, err)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry(8)
+	reg.Malloc.RecordShard(3, 123)
+	reg.Free.Record(456)
+	reg.Pause.Record(1 << 22)
+	reg.RegisterGauge("quarantine_bytes", func() uint64 { return 7777 })
+	reg.RegisterGauge("arena_shards", func() uint64 { return 4 })
+	reg.ObserveSweep(SweepRecord{
+		Trigger: TriggerThreshold, MarkNanos: 1000, RecycleNanos: 2000,
+		PurgeNanos: 300, TotalNanos: 3300, PagesScanned: 12,
+		BytesScanned: 12 << 12, BytesZeroSkipped: 8 << 12,
+		EntriesLocked: 100, Released: 90, Retained: 10, Workers: 2,
+	})
+	reg.ObserveSweep(SweepRecord{Trigger: TriggerPause, TotalNanos: 50})
+
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("JSON round-trip mismatch:\nwant %+v\ngot  %+v", snap, got)
+	}
+	if got.SweepsTotal != 2 || len(got.Sweeps) != 2 {
+		t.Fatalf("SweepsTotal/len = %d/%d, want 2/2", got.SweepsTotal, len(got.Sweeps))
+	}
+	if got.Sweeps[0].Trigger != TriggerThreshold || got.Sweeps[1].Trigger != TriggerPause {
+		t.Error("trigger reasons lost in round-trip")
+	}
+	// Gauges are sorted by name for stable output.
+	if got.Gauges[0].Name != "arena_shards" || got.Gauges[1].Name != "quarantine_bytes" {
+		t.Errorf("gauges unsorted: %+v", got.Gauges)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	reg := NewRegistry(8)
+	reg.Malloc.Record(100)
+	reg.RegisterGauge("quarantine_entries", func() uint64 { return 42 })
+	reg.ObserveSweep(SweepRecord{Trigger: TriggerUnmapped, TotalNanos: 5000, MarkNanos: 4000, Workers: 3})
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unmapped", "malloc_ns", "quarantine_entries", "42", "trigger", "workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplePeriod(t *testing.T) {
+	reg := NewRegistry(4)
+	if got := reg.SamplePeriod(); got != DefaultSamplePeriod {
+		t.Fatalf("default SamplePeriod = %d, want %d", got, DefaultSamplePeriod)
+	}
+	reg.SetSamplePeriod(8)
+	if got := reg.SamplePeriod(); got != 8 {
+		t.Errorf("SamplePeriod = %d after SetSamplePeriod(8)", got)
+	}
+	// 0 clamps to 1 (sample everything), and the period rides the snapshot
+	// so consumers can scale histogram counts back to op totals.
+	reg.SetSamplePeriod(0)
+	if got := reg.SamplePeriod(); got != 1 {
+		t.Errorf("SamplePeriod = %d after SetSamplePeriod(0), want 1", got)
+	}
+	if got := reg.Snapshot().SamplePeriod; got != 1 {
+		t.Errorf("snapshot SamplePeriod = %d, want 1", got)
+	}
+}
+
+func TestRegisterGaugeReplaces(t *testing.T) {
+	reg := NewRegistry(4)
+	reg.RegisterGauge("g", func() uint64 { return 1 })
+	reg.RegisterGauge("g", func() uint64 { return 2 })
+	s := reg.Snapshot()
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 2 {
+		t.Fatalf("gauges = %+v, want one g=2", s.Gauges)
+	}
+}
+
+func TestRegisterHistogramAppearsInSnapshot(t *testing.T) {
+	reg := NewRegistry(4)
+	h := NewHistogram("custom_ns", "ns", 2)
+	h.Record(9)
+	reg.RegisterHistogram(h)
+	s := reg.Snapshot()
+	found := false
+	for _, hs := range s.Histograms {
+		if hs.Name == "custom_ns" && hs.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("custom histogram missing from snapshot: %+v", s.Histograms)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	reg := NewRegistry(4)
+	reg.ObserveSweep(SweepRecord{Trigger: TriggerForced, TotalNanos: 10})
+	reg.PublishExpvar("minesweeper-test")
+	v := expvar.Get("minesweeper-test")
+	if v == nil {
+		t.Fatal("expvar variable not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar output not a snapshot: %v", err)
+	}
+	if snap.SweepsTotal != 1 {
+		t.Fatalf("expvar SweepsTotal = %d, want 1", snap.SweepsTotal)
+	}
+	// Re-publishing rebinds rather than panicking.
+	reg2 := NewRegistry(4)
+	reg2.PublishExpvar("minesweeper-test")
+	var snap2 Snapshot
+	if err := json.Unmarshal([]byte(expvar.Get("minesweeper-test").String()), &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.SweepsTotal != 0 {
+		t.Fatalf("rebound expvar SweepsTotal = %d, want 0", snap2.SweepsTotal)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
 	"minesweeper/internal/sim"
+	"minesweeper/internal/telemetry"
 )
 
 // Result is the outcome of running one profile under one scheme.
@@ -40,6 +41,17 @@ type Options struct {
 	SampleEvery time.Duration
 	// Seed offsets the workload PRNG streams.
 	Seed uint64
+	// Telemetry, when non-nil, is attached to the scheme's heap (if the
+	// heap supports it) for the duration of the run: per-sweep records,
+	// malloc/free latency histograms and quarantine gauges accumulate in
+	// the registry and survive the run for snapshotting.
+	Telemetry *telemetry.Registry
+}
+
+// telemetrySink is implemented by heaps that can attach a registry
+// (core.Heap; the baseline substrates do not).
+type telemetrySink interface {
+	SetTelemetry(*telemetry.Registry)
 }
 
 // Run executes prof under the scheme built by f and reports measurements.
@@ -64,6 +76,11 @@ func Run(prof Profile, f schemes.Factory, opts Options) (Result, error) {
 	if err != nil {
 		heap.Shutdown()
 		return Result{}, err
+	}
+	if opts.Telemetry != nil {
+		if sink, ok := heap.(telemetrySink); ok {
+			sink.SetTelemetry(opts.Telemetry)
+		}
 	}
 
 	sampler := metrics.NewSampler(func() uint64 {

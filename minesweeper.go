@@ -151,6 +151,12 @@ type Config struct {
 	// DebugDoubleFree reports double frees as errors instead of absorbing
 	// them (the paper's debug mode).
 	DebugDoubleFree bool
+	// Telemetry attaches a telemetry registry to the scheme's heap:
+	// per-sweep phase records, malloc/free latency histograms, and
+	// quarantine gauges, retrievable with Process.Telemetry(). Supported
+	// by the core-based schemes (MineSweeper variants and Scudo+MS);
+	// ignored elsewhere.
+	Telemetry bool
 }
 
 // Stats is a snapshot of a Process's memory-management statistics.

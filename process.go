@@ -16,6 +16,7 @@ import (
 	"minesweeper/internal/psweeper"
 	"minesweeper/internal/scudo"
 	"minesweeper/internal/sim"
+	"minesweeper/internal/telemetry"
 )
 
 // Process is a simulated process: an address space, a globals segment, a
@@ -26,6 +27,7 @@ type Process struct {
 	world *sim.World
 	heap  alloc.Allocator
 	prog  *sim.Program
+	tel   *telemetry.Registry
 }
 
 // NewProcess creates a process protected by the configured scheme.
@@ -42,7 +44,16 @@ func NewProcess(cfg Config) (*Process, error) {
 		heap.Shutdown()
 		return nil, err
 	}
-	return &Process{cfg: cfg, space: space, world: world, heap: heap, prog: prog}, nil
+	p := &Process{cfg: cfg, space: space, world: world, heap: heap, prog: prog}
+	if cfg.Telemetry {
+		if sink, ok := heap.(interface {
+			SetTelemetry(*telemetry.Registry)
+		}); ok {
+			p.tel = telemetry.NewRegistry(telemetry.DefaultRingCap)
+			sink.SetTelemetry(p.tel)
+		}
+	}
+	return p, nil
 }
 
 func coreConfig(cfg Config, world *sim.World) core.Config {
@@ -188,10 +199,16 @@ func (p *Process) Stats() Stats {
 		BytesSwept:          st.BytesSwept,
 		SweeperBusy:         st.SweeperCycles,
 		STWTime:             st.STWCycles,
-		PauseTime:           st.PauseCycles,
+		PauseTime:           st.PauseNanos,
 		UAFFaults:           p.prog.UAFAccesses(),
 	}
 }
+
+// Telemetry returns the process's telemetry registry, or nil when
+// Config.Telemetry was false or the scheme does not support attachment. The
+// registry is live: snapshot it at any time, or publish it with
+// PublishExpvar to serve it from /debug/vars.
+func (p *Process) Telemetry() *telemetry.Registry { return p.tel }
 
 // RSS returns the simulated resident footprint in bytes.
 func (p *Process) RSS() uint64 { return p.space.RSS() }
