@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all telemetry-overhead figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all telemetry-overhead governor-overhead governor-gate figures examples clean
 
 all: build vet test
 
@@ -18,6 +18,8 @@ help:
 	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
 	@echo "  bench-all  every benchmark in the repository"
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
+	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
+	@echo "  governor-gate       gate: governed peak RSS stays within budget+10% on the pressure ramp"
 	@echo "  figures    regenerate the paper figures (cmd/msbench)"
 	@echo "  examples   run the example programs"
 
@@ -37,7 +39,7 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc ./internal/telemetry
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/control ./internal/workload
 
 # The pre-merge gate: static checks plus the hot-path race pass.
 check: vet race-hot
@@ -75,6 +77,20 @@ bench-json:
 telemetry-overhead:
 	MS_TELEMETRY_GATE=1 $(GO) test -run '^TestTelemetryOverheadGate$$' -count=1 -v .
 
+# Governor-overhead gate: the governed malloc/free pair (budget far above any
+# pressure, so the plane is attached but idle) must stay within 3% of the
+# ungoverned run. Same interleaved-chunk protocol as telemetry-overhead —
+# knobs are read at sweep boundaries and the amortised trigger check only,
+# so this measures that the hot path stayed untouched.
+governor-overhead:
+	MS_GOVERNOR_OVERHEAD_GATE=1 $(GO) test -run '^TestGovernorOverheadGate$$' -count=1 -v .
+
+# Governor budget gate: measure the pressure ramp's unbounded peak RSS, hand
+# the AIMD governor 75% of it, and require the governed peak to stay within
+# 10% of the budget. The acceptance experiment for the control plane.
+governor-gate:
+	MS_GOVERNOR_GATE=1 $(GO) test -run '^TestGovernorBudgetBound$$' -count=1 -v ./internal/workload
+
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -90,6 +106,7 @@ examples:
 	$(GO) run ./examples/tracereplay
 	$(GO) run ./examples/fdpoison
 	$(GO) run ./examples/telemetry
+	$(GO) run ./examples/governor
 
 clean:
 	$(GO) clean ./...

@@ -136,6 +136,18 @@ func BenchmarkMallocFree64_MineSweeperTelemetry(b *testing.B) {
 	}, 64)
 }
 
+// BenchmarkMallocFree64_MineSweeperGoverned is the same fast path with the
+// adaptive control plane attached under a budget far above any real pressure:
+// the atomic knob load at sweep boundaries and the amortised trigger check is
+// the governor's whole hot-path cost. make governor-overhead gates this
+// against the plain MineSweeper run.
+func BenchmarkMallocFree64_MineSweeperGoverned(b *testing.B) {
+	benchMallocFreeCfg(b, minesweeper.Config{
+		Scheme:       minesweeper.SchemeMineSweeper,
+		MemoryBudget: 1 << 40,
+	}, 64)
+}
+
 func BenchmarkMallocFree64_MarkUs(b *testing.B) {
 	benchMallocFree(b, minesweeper.SchemeMarkUs, 64)
 }

@@ -9,6 +9,7 @@
 //
 //	msrun -bench xalancbmk -scheme minesweeper [-compare] [-scale 1] [-reps 1]
 //	msrun -bench xalancbmk -scheme minesweeper -telemetry [-telemetry-json snap.json]
+//	msrun -bench pressure -scheme minesweeper -budget 64M [-governor aimd]
 //	msrun -list
 package main
 
@@ -18,6 +19,8 @@ import (
 	"os"
 	"time"
 
+	"minesweeper/internal/control"
+	"minesweeper/internal/core"
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
 	"minesweeper/internal/telemetry"
@@ -34,6 +37,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the memory-over-time trace")
 	telem := flag.Bool("telemetry", false, "attach the telemetry registry and print per-sweep records and histograms")
 	telemJSON := flag.String("telemetry-json", "", "also write the telemetry snapshot as JSON to this file (implies -telemetry)")
+	budgetFlag := flag.String("budget", "", "resident-memory budget for the adaptive governor, e.g. 64M or 1G (minesweeper schemes only)")
+	governor := flag.String("governor", "", "governor policy: aimd or static (minesweeper schemes only; defaults to aimd when -budget is set)")
 	flag.Parse()
 	if *telemJSON != "" {
 		*telem = true
@@ -64,6 +69,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "msrun:", err)
 		os.Exit(2)
+	}
+	if *budgetFlag != "" || *governor != "" {
+		factory, err = governedFactory(*scheme, *budgetFlag, *governor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "msrun:", err)
+			os.Exit(2)
+		}
 	}
 	opts := workload.Options{ScaleDiv: *scale}
 	var reg *telemetry.Registry
@@ -121,6 +133,52 @@ func dumpTelemetry(reg *telemetry.Registry, jsonPath string) {
 		fmt.Fprintln(os.Stderr, "msrun: writing telemetry JSON:", err)
 		os.Exit(1)
 	}
+}
+
+// governedFactory wraps the named MineSweeper scheme in an adaptive control
+// plane and prints the effective governed configuration — base knobs, rails,
+// budget and policy — so a run's steering envelope is on the record before
+// any measurements.
+func governedFactory(scheme, budgetStr, policyName string) (schemes.Factory, error) {
+	budget, err := metrics.ParseSize(budgetStr)
+	if err != nil {
+		return schemes.Factory{}, fmt.Errorf("-budget: %w", err)
+	}
+	if budgetStr != "" && budget == 0 {
+		return schemes.Factory{}, fmt.Errorf("-budget: must be positive")
+	}
+	f, err := schemes.GovernedByName(scheme, budget, policyName)
+	if err != nil {
+		return schemes.Factory{}, err
+	}
+
+	cfg := core.DefaultConfig()
+	base := control.Knobs{
+		SweepThreshold: cfg.SweepThreshold,
+		UnmappedFactor: cfg.UnmappedFactor,
+		PauseThreshold: cfg.PauseThreshold,
+		Helpers:        cfg.Helpers,
+	}
+	rails := control.DefaultRails(base)
+	if policyName == "" {
+		policyName = "aimd"
+	}
+	fmt.Printf("governor: policy=%s budget=%s\n", policyName, fmtBudget(budget))
+	fmt.Printf("  base:   sweep=%.3f unmapped=%.1fx pause=%.2f helpers=%d\n",
+		base.SweepThreshold, base.UnmappedFactor, base.PauseThreshold, base.Helpers)
+	fmt.Printf("  rails:  sweep=[%.4f,%.3f] unmapped=[%.1fx,%.1fx] pause=[%.3f,%.2f] helpers=[%d,%d]\n",
+		rails.SweepThresholdMin, rails.SweepThresholdMax,
+		rails.UnmappedFactorMin, rails.UnmappedFactorMax,
+		rails.PauseThresholdMin, rails.PauseThresholdMax,
+		rails.HelpersMin, rails.HelpersMax)
+	return f, nil
+}
+
+func fmtBudget(b uint64) string {
+	if b == 0 {
+		return "none (age-signal only)"
+	}
+	return metrics.FmtMiB(b)
 }
 
 func schemeByName(name string) (schemes.Factory, error) {

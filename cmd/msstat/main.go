@@ -8,6 +8,7 @@
 //	msstat -in snap.json            # render a captured snapshot
 //	msstat -in snap.json -json      # normalise/validate: re-emit as JSON
 //	msstat -bench espresso -scheme minesweeper [-scale 8]   # capture + report
+//	msstat -bench pressure -budget 64M [-governor aimd]     # governed capture
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
 	"minesweeper/internal/telemetry"
 	"minesweeper/internal/workload"
@@ -26,7 +28,13 @@ func main() {
 	scheme := flag.String("scheme", "minesweeper", "scheme to run the profile under")
 	scale := flag.Int("scale", 1, "divide the op budget by this factor")
 	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of text")
+	budgetFlag := flag.String("budget", "", "resident-memory budget for the adaptive governor, e.g. 64M (minesweeper schemes only)")
+	governor := flag.String("governor", "", "governor policy: aimd or static (defaults to aimd when -budget is set)")
 	flag.Parse()
+
+	if *in != "" && (*budgetFlag != "" || *governor != "") {
+		fatal(fmt.Errorf("-budget/-governor only apply when running a profile with -bench, not with -in"))
+	}
 
 	var snap telemetry.Snapshot
 	switch {
@@ -48,6 +56,16 @@ func main() {
 		factory, ok := schemeFor(*scheme)
 		if !ok {
 			fatal(fmt.Errorf("unknown scheme %q", *scheme))
+		}
+		if *budgetFlag != "" || *governor != "" {
+			budget, err := metrics.ParseSize(*budgetFlag)
+			if err != nil {
+				fatal(fmt.Errorf("-budget: %w", err))
+			}
+			factory, err = schemes.GovernedByName(*scheme, budget, *governor)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		reg := telemetry.NewRegistry(telemetry.DefaultRingCap)
 		if _, err := workload.Run(prof, factory, workload.Options{

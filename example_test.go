@@ -13,7 +13,7 @@ func Example() {
 		Scheme:         minesweeper.SchemeMineSweeper,
 		Synchronous:    true, // deterministic output for the example
 		BufferCap:      1,
-		SweepThreshold: 1e9, // sweeps only when Sweep() is called
+		SweepThreshold: 1, // never self-triggers: sweeps only when Sweep() is called
 	})
 	if err != nil {
 		panic(err)
@@ -46,7 +46,7 @@ func ExampleProcess_Sweep() {
 		Scheme:         minesweeper.SchemeMineSweeper,
 		Synchronous:    true,
 		BufferCap:      1,
-		SweepThreshold: 1e9, // sweeps only when Sweep() is called
+		SweepThreshold: 1, // never self-triggers: sweeps only when Sweep() is called
 	})
 	defer proc.Close()
 	th, _ := proc.NewThread()
@@ -74,7 +74,7 @@ func ExampleThread_Free() {
 		Scheme:         minesweeper.SchemeMineSweeper,
 		Synchronous:    true,
 		BufferCap:      1,
-		SweepThreshold: 1e9, // sweeps only when Sweep() is called
+		SweepThreshold: 1, // never self-triggers: sweeps only when Sweep() is called
 	})
 	defer proc.Close()
 	th, _ := proc.NewThread()

@@ -1,0 +1,120 @@
+// Governor: a memory budget the heap steers itself under.
+//
+// Run with:
+//
+//	go run ./examples/governor
+//
+// It runs the same allocation ramp twice — once ungoverned, once with a
+// resident-memory budget and the AIMD governor — and prints what the control
+// plane did: the pressure level it reached, how far it tightened each knob
+// inside the rails, and the decision log the snapshot retains. The governed
+// run's peak RSS lands near the budget; the ungoverned run sails past it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	minesweeper "minesweeper"
+)
+
+// ramp allocates a growing working set with churn, the pattern that fills a
+// quarantine and drives resident memory up in steps. It returns the peak RSS
+// the process reached.
+func ramp(proc *minesweeper.Process) uint64 {
+	th, err := proc.NewThread()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer th.Close()
+
+	var live []minesweeper.Addr
+	var peak uint64
+	for phase := 1; phase <= 4; phase++ {
+		target := 4000 * phase
+		for op := 0; op < 30000; op++ {
+			if len(live) >= target {
+				// At target: churn oldest-first.
+				if err := th.Free(live[0]); err != nil {
+					log.Fatal(err)
+				}
+				live = live[1:]
+			}
+			p, err := th.Malloc(uint64(64 + op%4096))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := th.Store(p, uint64(op)); err != nil {
+				log.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		if rss := proc.RSS(); rss > peak {
+			peak = rss
+		}
+	}
+	for _, p := range live {
+		if err := th.Free(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	proc.Sweep()
+	return peak
+}
+
+func run(cfg minesweeper.Config) (uint64, *minesweeper.Process) {
+	proc, err := minesweeper.NewProcess(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ramp(proc), proc
+}
+
+func main() {
+	// Pass 1: ungoverned, to learn the ramp's natural peak.
+	peak, proc := run(minesweeper.Config{Scheme: minesweeper.SchemeMineSweeper})
+	proc.Close()
+	fmt.Printf("ungoverned peak RSS: %.1f MiB\n", float64(peak)/(1<<20))
+
+	// Pass 2: hand the governor half of that and let it steer. A budget this
+	// deep under the natural peak cannot be met by budget-triggered sweeps
+	// alone, so the AIMD policy has to tighten the knobs to hold the line.
+	budget := peak / 2
+	gpeak, gproc := run(minesweeper.Config{
+		Scheme:       minesweeper.SchemeMineSweeper,
+		MemoryBudget: budget,
+		// Controller nil: a budget alone selects the AIMD policy.
+	})
+	defer gproc.Close()
+	fmt.Printf("budget:              %.1f MiB\n", float64(budget)/(1<<20))
+	fmt.Printf("governed peak RSS:   %.1f MiB\n\n", float64(gpeak)/(1<<20))
+
+	g := gproc.Governor()
+	if g == nil {
+		log.Fatal("governed process has no governor state")
+	}
+	fmt.Printf("policy %s made %d observations, recorded %d decisions\n",
+		g.Policy, g.Observations, g.DecisionsTotal)
+	fmt.Printf("pressure level now: %s\n", g.Level)
+	fmt.Printf("knobs (current vs base):\n")
+	fmt.Printf("  sweep threshold  %.4f  (base %.2f, floor %.4f)\n",
+		g.Knobs.SweepThreshold, g.Base.SweepThreshold, g.Rails.SweepThresholdMin)
+	fmt.Printf("  unmapped factor  %.2fx  (base %.0fx, floor %.0fx)\n",
+		g.Knobs.UnmappedFactor, g.Base.UnmappedFactor, g.Rails.UnmappedFactorMin)
+	fmt.Printf("  pause threshold  %.3f  (base %.2f, floor %.3f)\n",
+		g.Knobs.PauseThreshold, g.Base.PauseThreshold, g.Rails.PauseThresholdMin)
+	fmt.Printf("  helpers          %d  (base %d, ceiling %d)\n",
+		g.Knobs.Helpers, g.Base.Helpers, g.Rails.HelpersMax)
+
+	fmt.Printf("\nlast decisions:\n")
+	ds := g.Decisions
+	if len(ds) > 5 {
+		ds = ds[len(ds)-5:]
+	}
+	for _, d := range ds {
+		fmt.Printf("  #%d %-8s usage %3.0f%%  sweep %.4f->%.4f  helpers %d->%d\n",
+			d.Seq, d.Level, d.In.Usage()*100,
+			d.Before.SweepThreshold, d.After.SweepThreshold,
+			d.Before.Helpers, d.After.Helpers)
+	}
+}

@@ -20,7 +20,7 @@ func main() {
 		Scheme:         minesweeper.SchemeMineSweeper,
 		Synchronous:    true, // deterministic for the demo
 		BufferCap:      1,
-		SweepThreshold: 1e9, // sweep only when we ask, for a readable demo
+		SweepThreshold: 1, // never self-triggers: sweep only when we ask, for a readable demo
 	})
 	if err != nil {
 		log.Fatal(err)

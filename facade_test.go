@@ -10,7 +10,7 @@ func newProc(t testing.TB, cfg Config) (*Process, *Thread) {
 	// Deterministic tests: synchronous sweeps, tiny buffers.
 	cfg.Synchronous = true
 	cfg.BufferCap = 1
-	cfg.SweepThreshold = 1e18
+	cfg.SweepThreshold = 1 // quarantine can never exceed the heap: manual sweeps only
 	cfg.PauseThreshold = -1
 	p, err := NewProcess(cfg)
 	if err != nil {

@@ -1,0 +1,103 @@
+// The governor-overhead gate behind `make governor-overhead`.
+//
+// Same measurement protocol as the telemetry gate (see
+// telemetry_overhead_test.go for why two separate `go test -bench` entries
+// are not comparable on this host): one long-lived process per configuration,
+// alternating fixed-iteration chunks, each side's floor taken across several
+// independent process pairs. The governed side attaches the control plane
+// under a budget far above any pressure the chunk loop can generate, so the
+// comparison isolates the plane's standing cost — the knob indirection at the
+// amortised trigger check and the budget checks on the pause path — from any
+// actual steering.
+package minesweeper_test
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	minesweeper "minesweeper"
+)
+
+// TestGovernorOverheadGate fails if attaching an idle control plane costs
+// more than 3% on the 64-byte malloc/free pair. Skipped unless
+// MS_GOVERNOR_OVERHEAD_GATE is set: it spends a few seconds of wall-clock
+// timing and its verdict is only meaningful on an otherwise idle machine.
+func TestGovernorOverheadGate(t *testing.T) {
+	if os.Getenv("MS_GOVERNOR_OVERHEAD_GATE") == "" {
+		t.Skip("set MS_GOVERNOR_OVERHEAD_GATE=1 (or run make governor-overhead) to run the overhead gate")
+	}
+	const (
+		opsPerChunk = 100_000
+		chunks      = 30 // interleaved plain/governed chunks per process pair
+		pairs       = 3  // independent process pairs
+		maxRatio    = 1.03
+		attempts    = 3 // re-measure before declaring a regression
+	)
+	newThread := func(governed bool) (*minesweeper.Process, *minesweeper.Thread) {
+		cfg := minesweeper.Config{Scheme: minesweeper.SchemeMineSweeper}
+		if governed {
+			cfg.MemoryBudget = 1 << 40
+		}
+		p, err := minesweeper.NewProcess(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := p.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, th
+	}
+	chunk := func(th *minesweeper.Thread) float64 {
+		start := time.Now()
+		for i := 0; i < opsPerChunk; i++ {
+			a, err := th.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / opsPerChunk
+	}
+	measure := func() (plainMin, govMin float64) {
+		plainMin, govMin = math.Inf(1), math.Inf(1)
+		for p := 0; p < pairs; p++ {
+			pPlain, thPlain := newThread(false)
+			pGov, thGov := newThread(true)
+			// One discarded chunk each: the first chunks pay the cold-heap
+			// cost (page faults, tcache fill) that later chunks reuse.
+			chunk(thPlain)
+			chunk(thGov)
+			for c := 0; c < chunks; c++ {
+				if v := chunk(thPlain); v < plainMin {
+					plainMin = v
+				}
+				if v := chunk(thGov); v < govMin {
+					govMin = v
+				}
+			}
+			thPlain.Close()
+			thGov.Close()
+			pPlain.Close()
+			pGov.Close()
+		}
+		return plainMin, govMin
+	}
+	// Floor estimate: one attempt under budget is evidence enough (see the
+	// telemetry gate for the reasoning).
+	var ratio float64
+	for a := 0; a < attempts; a++ {
+		plainMin, govMin := measure()
+		ratio = govMin / plainMin
+		t.Logf("attempt %d: %.1f ns/op (governed) vs %.1f ns/op (plain) = %.4fx (limit %.2fx, min over %d pairs x %d interleaved chunks of %d ops)",
+			a, govMin, plainMin, ratio, maxRatio, pairs, chunks, opsPerChunk)
+		if ratio <= maxRatio {
+			return
+		}
+	}
+	t.Errorf("governor overhead %.4fx exceeds %.2fx budget in %d attempts", ratio, maxRatio, attempts)
+}

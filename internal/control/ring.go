@@ -1,0 +1,92 @@
+package control
+
+import "sync/atomic"
+
+// Decision is one recorded control-plane adjustment: the pressure level
+// that was decided, the inputs that triggered it, and the knob values
+// before and after. One is recorded per Observe call that changed the level
+// or the knobs.
+type Decision struct {
+	// Seq is the decision's ordinal (1 = first decision recorded).
+	Seq uint64 `json:"seq"`
+	// Level is the pressure level in force after this decision.
+	Level Level `json:"level"`
+	// In is the observation that triggered the decision.
+	In Inputs `json:"inputs"`
+	// Before and After are the knob values around the adjustment.
+	Before Knobs `json:"before"`
+	After  Knobs `json:"after"`
+}
+
+// DefaultRingCap is the default number of decisions retained.
+const DefaultRingCap = 256
+
+// DecisionRing is a lock-free ring buffer of the last N decisions, the same
+// shape as telemetry.SweepRing: writers claim a slot with one atomic add
+// and publish an immutable record with one atomic pointer store; readers
+// never block writers.
+type DecisionRing struct {
+	slots []atomic.Pointer[Decision]
+	next  atomic.Uint64
+}
+
+// NewDecisionRing returns a ring retaining the last capN decisions, rounded
+// up to a power of two (DefaultRingCap if capN <= 0).
+func NewDecisionRing(capN int) *DecisionRing {
+	if capN <= 0 {
+		capN = DefaultRingCap
+	}
+	n := 1
+	for n < capN {
+		n <<= 1
+	}
+	return &DecisionRing{slots: make([]atomic.Pointer[Decision], n)}
+}
+
+// Push appends d, overwriting the oldest decision once the ring is full,
+// and returns the decision's sequence number (starting at 1). The stored
+// copy is private to the ring, so callers may reuse d.
+func (r *DecisionRing) Push(d Decision) uint64 {
+	seq := r.next.Add(1)
+	d.Seq = seq
+	c := d
+	r.slots[(seq-1)&uint64(len(r.slots)-1)].Store(&c)
+	return seq
+}
+
+// Len returns the number of decisions currently retained.
+func (r *DecisionRing) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Total returns the number of decisions ever pushed.
+func (r *DecisionRing) Total() uint64 { return r.next.Load() }
+
+// Snapshot returns the retained decisions, oldest first. Decisions pushed
+// while snapshotting may be included or not; each returned record is
+// internally consistent (publication is a single pointer store).
+func (r *DecisionRing) Snapshot() []Decision {
+	hi := r.next.Load()
+	lo := uint64(0)
+	if hi > uint64(len(r.slots)) {
+		lo = hi - uint64(len(r.slots))
+	}
+	out := make([]Decision, 0, hi-lo)
+	for s := lo; s < hi; s++ {
+		p := r.slots[s&uint64(len(r.slots)-1)].Load()
+		if p == nil {
+			continue // claimed but not yet published
+		}
+		// A slot lapped by a concurrent writer holds a newer record; keep
+		// only the record this slot held at sequence s+1 so the result
+		// stays ordered oldest-first.
+		if p.Seq == s+1 {
+			out = append(out, *p)
+		}
+	}
+	return out
+}

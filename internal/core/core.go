@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"minesweeper/internal/alloc"
+	"minesweeper/internal/control"
 	"minesweeper/internal/jemalloc"
 	"minesweeper/internal/mem"
 	"minesweeper/internal/quarantine"
@@ -133,6 +134,15 @@ type Config struct {
 	// instrumentation at the cost of one pointer load per operation; it can
 	// also be attached after construction with Heap.SetTelemetry.
 	Telemetry *telemetry.Registry
+
+	// Control, when non-nil, is the adaptive control plane: the heap reads
+	// its effective knobs (sweep threshold, unmapped factor, pause brake,
+	// helper count) instead of the frozen config fields above, and feeds an
+	// observation back after every sweep. The plane's base knobs should
+	// match this config's values; a Static-policy plane then behaves
+	// bit-for-bit like a nil one. Nil means ungoverned (the seed
+	// behaviour).
+	Control *control.Plane
 }
 
 // DefaultConfig returns the paper's default configuration: fully concurrent,
@@ -206,6 +216,10 @@ type Heap struct {
 	unmappedPages *shadow.Bitmap
 	q             *quarantine.Quarantine
 	sw            *sweep.Sweeper
+	// ctl is the adaptive control plane (nil = ungoverned). Written once at
+	// construction; its knobs are read through one atomic load on the
+	// amortised trigger/pause paths and at sweep boundaries.
+	ctl *control.Plane
 
 	threads  atomic.Pointer[[]*threadState]
 	threadMu sync.Mutex
@@ -277,6 +291,7 @@ func newHeap(space *mem.AddressSpace, cfg Config) (*Heap, error) {
 		marks:         marks,
 		unmappedPages: unmapped,
 		q:             quarantine.New(),
+		ctl:           cfg.Control,
 		sweepReq:      make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 	}
@@ -336,6 +351,29 @@ func (h *Heap) SetTelemetry(reg *telemetry.Registry) {
 	})
 	reg.RegisterGauge("sweep_pages_scanned_total", h.sw.PagesSwept)
 	reg.RegisterGauge("sweep_zero_skipped_bytes_total", h.sw.ZeroSkippedBytes)
+	if h.ctl != nil {
+		reg.AttachGovernor(h.ctl)
+		// Effective knob gauges: float knobs scaled to integers
+		// (basis points / hundredths) so they fit the uint64 gauge type.
+		reg.RegisterGauge("governor_pressure_level", func() uint64 {
+			return uint64(h.ctl.Level())
+		})
+		reg.RegisterGauge("governor_sweep_threshold_bp", func() uint64 {
+			return uint64(h.ctl.Knobs().SweepThreshold * 10000)
+		})
+		reg.RegisterGauge("governor_unmapped_factor_x100", func() uint64 {
+			return uint64(h.ctl.Knobs().UnmappedFactor * 100)
+		})
+		reg.RegisterGauge("governor_pause_threshold_x100", func() uint64 {
+			return uint64(h.ctl.Knobs().PauseThreshold * 100)
+		})
+		reg.RegisterGauge("governor_helpers", func() uint64 {
+			return uint64(h.ctl.Knobs().Helpers)
+		})
+		reg.RegisterGauge("governor_decisions_total", func() uint64 {
+			return h.ctl.Ring().Total()
+		})
+	}
 	if jh, ok := h.sub.(*jemalloc.Heap); ok {
 		for i := 0; i < jh.NumArenas(); i++ {
 			reg.RegisterGauge(fmt.Sprintf("arena_shard%d_live_regs", i), func() uint64 {
@@ -398,6 +436,31 @@ func (h *Heap) String() string {
 
 // Substrate returns the underlying allocator (tests, metrics).
 func (h *Heap) Substrate() alloc.Substrate { return h.sub }
+
+// Control returns the heap's control plane, or nil when ungoverned.
+func (h *Heap) Control() *control.Plane { return h.ctl }
+
+// knobs returns the effective policy knobs: the governed values when a
+// control plane is attached (one atomic load), the frozen config otherwise.
+func (h *Heap) knobs() control.Knobs {
+	if h.ctl != nil {
+		return h.ctl.Knobs()
+	}
+	return control.Knobs{
+		SweepThreshold: h.cfg.SweepThreshold,
+		UnmappedFactor: h.cfg.UnmappedFactor,
+		PauseThreshold: h.cfg.PauseThreshold,
+		Helpers:        h.cfg.Helpers,
+	}
+}
+
+// budget returns the governed memory budget, or 0 (unbounded).
+func (h *Heap) budget() uint64 {
+	if h.ctl != nil {
+		return h.ctl.Budget()
+	}
+	return 0
+}
 
 // Quarantined returns mapped quarantined bytes.
 func (h *Heap) Quarantined() uint64 { return h.q.Bytes() }
@@ -505,31 +568,48 @@ func (h *Heap) malloc(tid alloc.ThreadID, ts *threadState, size uint64) (uint64,
 const pauseFloorBytes = 1 << 20
 
 // maybePause blocks the allocating thread while the quarantine is extremely
-// large relative to the heap, letting the sweeper catch up.
+// large relative to the heap (§5.7) or, on a governed heap, while resident
+// memory sits over the configured budget with sweepable quarantine to
+// reclaim — either way letting the sweeper catch up.
 func (h *Heap) maybePause(tid alloc.ThreadID) {
-	if h.cfg.PauseThreshold <= 0 || h.cfg.Mode == Synchronous || !h.cfg.Quarantine {
+	if h.cfg.Mode == Synchronous || !h.cfg.Quarantine {
+		return
+	}
+	if h.cfg.PauseThreshold <= 0 && h.budget() == 0 {
 		return
 	}
 	for {
 		qb := h.q.Bytes() - min64(h.q.Bytes(), h.q.FailedBytes())
-		// The brake bounds memory, so a quarantine that is small in
-		// absolute terms never warrants a pause regardless of ratio — a
-		// tiny-live-heap program would otherwise stall on a sweep every
-		// few frees.
+		// Both brakes bound memory, so a quarantine that is small in
+		// absolute terms never warrants a pause: there is nothing worth
+		// reclaiming, and waiting for a sweep could not help. This also
+		// guarantees the budget brake cannot livelock a program whose
+		// live set alone exceeds the budget.
 		if qb <= pauseFloorBytes {
 			return
 		}
-		// The substrate still counts quarantined allocations as live (they
-		// are not freed until a sweep releases them), so subtract them —
-		// as Stats does — to get the application's live heap. Against the
-		// raw substrate figure the quarantine is a summand of both sides
-		// and no threshold >= 1 could ever fire, leaving the §5.7 brake
-		// dead and the quarantine unbounded whenever the sweeper thread is
-		// starved of CPU.
-		heapB := h.sub.AllocatedBytes()
-		heapB -= min64(heapB, h.q.Bytes()+h.q.UnmappedBytes())
-		if float64(qb) <= h.cfg.PauseThreshold*float64(heapB+mem.PageSize) {
+		k := h.knobs()
+		ratioHit := false
+		if k.PauseThreshold > 0 {
+			// The substrate still counts quarantined allocations as live
+			// (they are not freed until a sweep releases them), so
+			// subtract them — as Stats does — to get the application's
+			// live heap. Against the raw substrate figure the quarantine
+			// is a summand of both sides and no threshold >= 1 could ever
+			// fire, leaving the §5.7 brake dead and the quarantine
+			// unbounded whenever the sweeper thread is starved of CPU.
+			heapB := h.sub.AllocatedBytes()
+			heapB -= min64(heapB, h.q.Bytes()+h.q.UnmappedBytes())
+			ratioHit = float64(qb) > k.PauseThreshold*float64(heapB+mem.PageSize)
+		}
+		budget := h.budget()
+		budgetHit := budget > 0 && h.space.RSS() > budget
+		if !ratioHit && !budgetHit {
 			return
+		}
+		reason := telemetry.TriggerPause
+		if !ratioHit {
+			reason = telemetry.TriggerBudget
 		}
 		// Flush our buffer so our frees are sweepable, then wait for a
 		// sweep to finish. While waiting, the thread is quiescent: it
@@ -542,7 +622,7 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		if qz != nil {
 			qz.BeginQuiescent()
 		}
-		h.noteTrigger(telemetry.TriggerPause)
+		h.noteTrigger(reason)
 		h.genMu.Lock()
 		gen := h.sweepGen
 		h.requestSweep()
@@ -674,19 +754,33 @@ func (h *Heap) doubleFree(addr uint64) error {
 	return nil
 }
 
-// maybeTriggerSweep checks the two sweep triggers (§3.2, §4.2) and requests
-// a sweep when either fires.
+// maybeTriggerSweep checks the two sweep triggers (§3.2, §4.2) — plus, on a
+// governed heap, the memory-budget trigger — and requests a sweep when any
+// fires. Governed heaps read the effective (steered) thresholds here; the
+// check is already amortised to every sweepCheckInterval frees, so the extra
+// atomic load is off the per-operation path.
 func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
+	k := h.knobs()
 	qb := h.q.Bytes()
 	fb := h.q.FailedBytes()
 	heapB := h.sub.AllocatedBytes()
 	effQ := qb - min64(qb, fb)
 	effH := heapB - min64(heapB, fb)
 	reason := telemetry.TriggerThreshold
-	trigger := float64(effQ) > h.cfg.SweepThreshold*float64(effH)
-	if !trigger && h.cfg.UnmappedFactor > 0 {
-		trigger = float64(h.q.UnmappedBytes()) > h.cfg.UnmappedFactor*float64(h.space.RSS())
+	trigger := float64(effQ) > k.SweepThreshold*float64(effH)
+	if !trigger && k.UnmappedFactor > 0 {
+		trigger = float64(h.q.UnmappedBytes()) > k.UnmappedFactor*float64(h.space.RSS())
 		reason = telemetry.TriggerUnmapped
+	}
+	if !trigger {
+		// Budget trigger: resident memory over the budget and enough
+		// sweepable quarantine to make a sweep worthwhile (the same floor
+		// as the pause brake, so a heap whose live set alone exceeds the
+		// budget does not sweep-storm).
+		if b := h.budget(); b > 0 && effQ > pauseFloorBytes && h.space.RSS() > b {
+			trigger = true
+			reason = telemetry.TriggerBudget
+		}
 	}
 	if !trigger {
 		return
@@ -735,6 +829,8 @@ func (h *Heap) runSweep() {
 	tel := h.tel.Load()
 	reason := h.takeTrigger()
 	locked := h.q.LockIn()
+	var obsNanos int64
+	var obsReleased, obsRetained uint64
 	if len(locked) > 0 {
 		rec := telemetry.SweepRecord{
 			Trigger:       reason,
@@ -742,7 +838,7 @@ func (h *Heap) runSweep() {
 			Workers:       h.sw.Workers(),
 		}
 		var sweepStart, t0 time.Time
-		if tel != nil {
+		if tel != nil || h.ctl != nil {
 			sweepStart = time.Now()
 		}
 		if h.cfg.Sweeping {
@@ -791,16 +887,56 @@ func (h *Heap) runSweep() {
 			}
 		}
 		h.sweeps.Add(1)
-		if tel != nil {
+		if tel != nil || h.ctl != nil {
 			rec.TotalNanos = time.Since(sweepStart).Nanoseconds()
+		}
+		if tel != nil {
 			tel.ObserveSweep(rec)
 		}
+		obsNanos = rec.TotalNanos
+		obsReleased, obsRetained = rec.Released, rec.Retained
+	}
+	if h.ctl != nil {
+		h.observeAndSteer(obsNanos, obsReleased, obsRetained)
 	}
 
 	h.genMu.Lock()
 	h.sweepGen++
 	h.genMu.Unlock()
 	h.genCond.Broadcast()
+}
+
+// observeAndSteer closes the control loop at the sweep boundary: it gathers
+// the post-sweep heap state into a control.Inputs, lets the plane evaluate
+// pressure and decide the next inter-sweep knob values, and applies the side
+// of the decision the plane cannot apply itself — the sweep worker count.
+// Caller holds sweepMu, which makes this the plane's single writer.
+func (h *Heap) observeAndSteer(sweepNanos int64, released, retained uint64) {
+	heapB := h.sub.AllocatedBytes()
+	q := h.q.Bytes() + h.q.UnmappedBytes()
+	in := control.Inputs{
+		LiveBytes:        heapB - min64(heapB, q),
+		QuarantinedBytes: h.q.Bytes(),
+		UnmappedBytes:    h.q.UnmappedBytes(),
+		FailedBytes:      h.q.FailedBytes(),
+		RSS:              h.space.RSS(),
+		AgeEpochs:        h.q.Epoch() - h.q.OldestPendingEpoch(),
+		SweepNanos:       sweepNanos,
+		Released:         released,
+		Retained:         retained,
+	}
+	d, changed := h.ctl.Observe(in)
+	if !changed || d.After.Helpers == d.Before.Helpers {
+		return
+	}
+	h.sw.SetHelpers(d.After.Helpers)
+	// Grow the recycle-worker thread pool lazily: substrate threads are
+	// registered only when a decision actually raises the worker count, so
+	// an all-Static (or never-pressured) plane leaves the substrate state —
+	// and therefore Stats.MetaBytes — untouched.
+	for len(h.recycleTids) < h.sw.Workers() {
+		h.recycleTids = append(h.recycleTids, h.sub.RegisterThread())
+	}
 }
 
 // releaseBatchSize is how many released entries a sweep worker accumulates
@@ -818,7 +954,13 @@ const releaseBatchSize = 256
 // substrate and how many were retained (requeued as failed frees).
 func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) (released, retained uint64) {
 	start := time.Now()
-	workers := len(h.recycleTids)
+	// The current worker count tracks the governed helper knob; the
+	// registered thread pool only ever grows, so clamp to both (a plane
+	// that lowered Helpers leaves surplus registered threads idle).
+	workers := h.sw.Workers()
+	if workers > len(h.recycleTids) {
+		workers = len(h.recycleTids)
+	}
 	if workers > len(locked) {
 		workers = len(locked)
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -216,3 +217,28 @@ func FmtPct(r float64) string { return fmt.Sprintf("%+.1f%%", (r-1)*100) }
 
 // FmtMiB renders bytes as mebibytes.
 func FmtMiB(b uint64) string { return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20)) }
+
+// ParseSize parses a byte count with an optional K/M/G/T binary suffix
+// ("64M" = 64 MiB). The inverse, roughly, of FmtMiB — the form -budget
+// flags take.
+func ParseSize(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := uint64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	case 't', 'T':
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 64M, 1G or a byte count)", s)
+	}
+	return n * mult, nil
+}

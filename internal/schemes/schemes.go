@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"minesweeper/internal/alloc"
+	"minesweeper/internal/control"
 	"minesweeper/internal/core"
 	"minesweeper/internal/crcount"
 	"minesweeper/internal/dangsan"
@@ -175,6 +176,57 @@ func Custom(name string, cfg core.Config) Factory {
 		if world != nil && cfg.World == nil {
 			cfg.World = world
 		}
+		return core.New(space, cfg, jemalloc.DefaultConfig())
+	}}
+}
+
+// Governed returns a MineSweeper factory whose heap is steered by an adaptive
+// control plane: budget is the resident-memory budget in bytes (0 =
+// unbounded, pressure then comes only from quarantine age) and policy the
+// governing policy (nil = control.Static, the bit-for-bit-compatible
+// default). Each Build constructs a fresh plane, so repeated runs do not
+// share governor state.
+// GovernedByName resolves a scheme name and policy name (the CLI flag forms)
+// into a governed factory. Only the sweeping MineSweeper schemes can be
+// governed — the knobs the plane steers do not exist elsewhere — so any other
+// scheme name is an error, as is an unknown policy. An empty policy name
+// selects AIMD, the policy that actually closes the loop.
+func GovernedByName(scheme string, budget uint64, policyName string) (Factory, error) {
+	cfg := core.DefaultConfig()
+	switch scheme {
+	case "minesweeper":
+	case "minesweeper-mostly":
+		cfg.Mode = core.MostlyConcurrent
+	default:
+		return Factory{}, fmt.Errorf("schemes: a governor requires a sweeping scheme (minesweeper or minesweeper-mostly), not %q", scheme)
+	}
+	var pol control.Policy
+	switch policyName {
+	case "", "aimd":
+		pol = control.NewAIMD()
+	case "static":
+		pol = control.Static{}
+	default:
+		return Factory{}, fmt.Errorf("schemes: unknown governor policy %q (want aimd or static)", policyName)
+	}
+	return Governed(scheme+"-governed", cfg, budget, pol), nil
+}
+
+func Governed(name string, cfg core.Config, budget uint64, policy control.Policy) Factory {
+	return Factory{Name: name, Build: func(space *mem.AddressSpace, world *sim.World) (alloc.Allocator, error) {
+		if world != nil && cfg.World == nil {
+			cfg.World = world
+		}
+		cfg.Control = control.NewPlane(control.Config{
+			Base: control.Knobs{
+				SweepThreshold: cfg.SweepThreshold,
+				UnmappedFactor: cfg.UnmappedFactor,
+				PauseThreshold: cfg.PauseThreshold,
+				Helpers:        cfg.Helpers,
+			},
+			Budget: budget,
+			Policy: policy,
+		})
 		return core.New(space, cfg, jemalloc.DefaultConfig())
 	}}
 }

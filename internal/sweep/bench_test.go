@@ -122,7 +122,7 @@ func TestBulkPathMatchesPerWord(t *testing.T) {
 	bulk, bulkMarks := newBenchSweeper(t, heapBytes)
 	// Force multiple workers regardless of host GOMAXPROCS so the striped
 	// queue and stealing paths are exercised.
-	bulk.helpers = 3
+	bulk.helpers.Store(3)
 	bulkSwept := bulk.MarkAll()
 
 	if refSwept != bulkSwept {
@@ -182,7 +182,7 @@ func TestStripedStealing(t *testing.T) {
 	}
 	marks, _ := shadow.New(mem.HeapBase, mem.HeapLimit, 4)
 	s := New(as, marks, 0)
-	s.helpers = 7 // bypass the GOMAXPROCS clamp: stealing must still be correct
+	s.helpers.Store(7) // bypass the GOMAXPROCS clamp: stealing must still be correct
 	if swept := s.MarkAll(); swept != heap.Size() {
 		t.Errorf("swept %d bytes, want %d", swept, heap.Size())
 	}

@@ -57,9 +57,11 @@ type StopTheWorld interface {
 
 // Sweeper scans program memory and marks potential pointer targets.
 type Sweeper struct {
-	space   *mem.AddressSpace
-	marks   *shadow.Bitmap
-	helpers int
+	space *mem.AddressSpace
+	marks *shadow.Bitmap
+	// helpers is atomic so the control plane can steer the worker count
+	// between passes (SetHelpers); each pass reads it once at start.
+	helpers atomic.Int32
 
 	// runMu serialises passes so the work queue and stripe descriptors can
 	// be reused across sweeps without reallocation. Sweeps are already
@@ -100,17 +102,33 @@ func New(space *mem.AddressSpace, marks *shadow.Bitmap, helpers int) *Sweeper {
 	if helpers < 0 {
 		helpers = DefaultHelpers
 	}
+	s := &Sweeper{space: space, marks: marks}
+	s.helpers.Store(int32(clampHelpers(helpers)))
+	return s
+}
+
+// clampHelpers bounds a requested helper count to the host's available
+// parallelism: extra helpers on an oversubscribed host only time-slice
+// against each other (the paper sized its 6 helpers to an 8-way machine).
+func clampHelpers(helpers int) int {
 	if max := runtime.GOMAXPROCS(0) - 1; helpers > max {
 		helpers = max
 	}
 	if helpers < 0 {
 		helpers = 0
 	}
-	return &Sweeper{space: space, marks: marks, helpers: helpers}
+	return helpers
+}
+
+// SetHelpers changes the helper count for subsequent passes, clamped the same
+// way as New. Safe to call concurrently with a running pass (that pass keeps
+// the count it started with).
+func (s *Sweeper) SetHelpers(helpers int) {
+	s.helpers.Store(int32(clampHelpers(helpers)))
 }
 
 // Workers returns the effective sweep worker count (main + helpers).
-func (s *Sweeper) Workers() int { return s.helpers + 1 }
+func (s *Sweeper) Workers() int { return int(s.helpers.Load()) + 1 }
 
 // chunk is one unit of scanning work.
 type chunk struct {
@@ -245,7 +263,7 @@ func (s *Sweeper) run(chunks []chunk) PassStats {
 	if len(chunks) == 0 {
 		return PassStats{Workers: 1}
 	}
-	workers := s.helpers + 1
+	workers := s.Workers()
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}

@@ -20,6 +20,9 @@ const (
 	// TriggerPause is a sweep requested by a paused allocating thread
 	// (§5.7).
 	TriggerPause
+	// TriggerBudget is a sweep requested because resident memory crossed
+	// the configured budget (control plane).
+	TriggerBudget
 )
 
 // String returns the reason's name.
@@ -33,6 +36,8 @@ func (t TriggerReason) String() string {
 		return "unmapped"
 	case TriggerPause:
 		return "pause"
+	case TriggerBudget:
+		return "budget"
 	default:
 		return fmt.Sprintf("TriggerReason(%d)", int(t))
 	}
@@ -48,7 +53,7 @@ func (t TriggerReason) MarshalJSON() ([]byte, error) {
 func (t *TriggerReason) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err == nil {
-		for _, r := range []TriggerReason{TriggerForced, TriggerThreshold, TriggerUnmapped, TriggerPause} {
+		for _, r := range []TriggerReason{TriggerForced, TriggerThreshold, TriggerUnmapped, TriggerPause, TriggerBudget} {
 			if r.String() == s {
 				*t = r
 				return nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"minesweeper/internal/control"
 	"minesweeper/internal/metrics"
 )
 
@@ -23,6 +24,8 @@ type Snapshot struct {
 	// sampled into their histograms; scale those counts by it to estimate
 	// totals. Sweep and pause histograms are exact regardless.
 	SamplePeriod uint64 `json:"sample_period"`
+	// Governor is the control plane's state (nil when ungoverned).
+	Governor *control.State `json:"governor,omitempty"`
 }
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -119,6 +122,34 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		if _, err := io.WriteString(w, "\n"+tb.String()); err != nil {
 			return err
+		}
+	}
+	if g := s.Governor; g != nil {
+		if _, err := fmt.Fprintf(w,
+			"\ngovernor: policy=%s level=%s budget=%s observations=%d decisions=%d\n"+
+				"  knobs: sweep=%.4f (base %.4f) unmapped=%.2f (base %.2f) pause=%.2f (base %.2f) helpers=%d (base %d)\n",
+			g.Policy, g.Level, metrics.FmtMiB(g.Budget), g.Observations, g.DecisionsTotal,
+			g.Knobs.SweepThreshold, g.Base.SweepThreshold,
+			g.Knobs.UnmappedFactor, g.Base.UnmappedFactor,
+			g.Knobs.PauseThreshold, g.Base.PauseThreshold,
+			g.Knobs.Helpers, g.Base.Helpers,
+		); err != nil {
+			return err
+		}
+		if len(g.Decisions) > 0 {
+			tb := metrics.NewTable("decision", "level", "usage", "age", "sweep->", "helpers->")
+			for _, d := range g.Decisions {
+				tb.AddRow(
+					fmt.Sprint(d.Seq), d.Level.String(),
+					fmt.Sprintf("%.2f", d.In.Usage()),
+					fmt.Sprint(d.In.AgeEpochs),
+					fmt.Sprintf("%.4f", d.After.SweepThreshold),
+					fmt.Sprint(d.After.Helpers),
+				)
+			}
+			if _, err := io.WriteString(w, tb.String()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -31,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"minesweeper/internal/control"
 )
 
 // Standard histogram names used by the core layer; msstat and the renderers
@@ -85,6 +87,10 @@ type Registry struct {
 
 	samplePeriod atomic.Uint64
 
+	// governor is the attached control plane (nil when the heap is
+	// ungoverned); snapshots embed its state.
+	governor atomic.Pointer[control.Plane]
+
 	mu     sync.Mutex
 	extra  []*Histogram // caller-registered histograms
 	gauges []gauge
@@ -131,6 +137,13 @@ func (r *Registry) ObserveSweep(rec SweepRecord) {
 // Ring exposes the sweep ring (tests, custom renderers).
 func (r *Registry) Ring() *SweepRing { return r.ring }
 
+// AttachGovernor associates a control plane with the registry so snapshots
+// include governor state (nil detaches).
+func (r *Registry) AttachGovernor(p *control.Plane) { r.governor.Store(p) }
+
+// Governor returns the attached control plane, or nil.
+func (r *Registry) Governor() *control.Plane { return r.governor.Load() }
+
 // RegisterHistogram adds a caller-owned histogram to snapshots.
 func (r *Registry) RegisterHistogram(h *Histogram) {
 	r.mu.Lock()
@@ -167,6 +180,10 @@ func (r *Registry) Snapshot() Snapshot {
 		SweepsTotal:  r.ring.Total(),
 		Sweeps:       r.ring.Snapshot(),
 		SamplePeriod: r.SamplePeriod(),
+	}
+	if g := r.governor.Load(); g != nil {
+		st := g.State()
+		s.Governor = &st
 	}
 	hists := []*Histogram{r.Malloc, r.Free, r.Pause, r.Sweep}
 	r.mu.Lock()

@@ -26,6 +26,8 @@ func runKernel(p *sim.Program, th *sim.Thread, prof *Profile, threadIdx int) err
 		return kernelXmalloc(p, th, prof, threadIdx)
 	case "glibc-simple":
 		return kernelGlibcSimple(th, prof)
+	case "pressure":
+		return kernelPressure(th, prof)
 	default:
 		return fmt.Errorf("workload: unknown kernel %q", prof.Kernel)
 	}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+// Stress returns the control-plane stress profiles: phase-shifting workloads
+// whose live set ramps toward a target in steps, with random-victim churn
+// inside each phase. The ramp drives resident memory steadily toward (and
+// past) a configured budget, so a governed run must tighten to stay inside it
+// while an ungoverned run sails through — the experiment the adaptive control
+// plane exists for.
+func Stress() []Profile {
+	pressureMix := SizeDist{
+		{Lo: 32, Hi: 256, Weight: 50},
+		{Lo: 257, Hi: 4096, Weight: 35},
+		{Lo: 4097, Hi: 32768, Weight: 15},
+	}
+	return []Profile{
+		{
+			Name: "pressure", Suite: "stress", Threads: 1, Ops: 400_000,
+			LiveTarget: 30000, Sizes: pressureMix,
+			Lifetime: Lifetime{Random: 100},
+			Kernel:   "pressure",
+		},
+		{
+			// The multi-threaded variant: four ramps sharing one heap, so
+			// pressure observations interleave with concurrent churn (the
+			// -race stress configuration).
+			Name: "pressure-mt", Suite: "stress", Threads: 4, Ops: 100_000,
+			LiveTarget: 8000, Sizes: pressureMix,
+			Lifetime: Lifetime{Random: 100},
+			Kernel:   "pressure",
+		},
+	}
+}
+
+// pressurePhases is how many live-set steps the ramp climbs: the live target
+// grows by a quarter of the profile's LiveTarget each phase, shifting the
+// heap's steady state the way a program moving between input stages does.
+const pressurePhases = 4
+
+// kernelPressure runs the phase-shifting ramp: each phase raises the live-set
+// target by LiveTarget/pressurePhases, fills up to it, then churns with
+// random victims until the phase's operation budget is spent. Teardown frees
+// everything, so a final sweep can return the process to its floor.
+func kernelPressure(th *sim.Thread, prof *Profile) error {
+	r := th.Rand()
+	live := make([]uint64, 0, prof.LiveTarget)
+	opsPerPhase := prof.Ops / pressurePhases
+	if opsPerPhase < 1 {
+		opsPerPhase = 1
+	}
+	alloc := func() (uint64, error) {
+		a, err := th.Malloc(prof.Sizes.Sample(r))
+		if err != nil {
+			return 0, err
+		}
+		if err := th.Store(a, r.Uint64()&payloadMask); err != nil {
+			return 0, err
+		}
+		return a, nil
+	}
+	for phase := 1; phase <= pressurePhases; phase++ {
+		target := prof.LiveTarget * phase / pressurePhases
+		if target < 1 {
+			target = 1
+		}
+		for op := 0; op < opsPerPhase; op++ {
+			if len(live) < target {
+				a, err := alloc()
+				if err != nil {
+					return err
+				}
+				live = append(live, a)
+				continue
+			}
+			// At target: churn. Free a random victim, allocate a
+			// replacement — the free rate that fills the quarantine and
+			// makes the sweep trigger the governed variable.
+			i := r.Intn(len(live))
+			if err := th.Free(live[i]); err != nil {
+				return err
+			}
+			a, err := alloc()
+			if err != nil {
+				return err
+			}
+			live[i] = a
+			// Touch a neighbouring object so the live set stays resident
+			// rather than paging into irrelevance.
+			j := r.Intn(len(live))
+			if _, err := th.Load(live[j] + mem.WordSize*0); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range live {
+		if err := th.Free(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -138,7 +138,7 @@ func Spec2006Names() []string {
 
 // FindProfile returns the named profile from any suite.
 func FindProfile(name string) (Profile, bool) {
-	for _, set := range [][]Profile{Spec2006(), Spec2017(), MimallocBench()} {
+	for _, set := range [][]Profile{Spec2006(), Spec2017(), MimallocBench(), Stress()} {
 		for _, p := range set {
 			if p.Name == name {
 				return p, true
@@ -154,5 +154,6 @@ func AllProfiles() []Profile {
 	out = append(out, Spec2006()...)
 	out = append(out, Spec2017()...)
 	out = append(out, MimallocBench()...)
+	out = append(out, Stress()...)
 	return out
 }

@@ -31,9 +31,11 @@
 package minesweeper
 
 import (
+	"errors"
 	"fmt"
 
 	"minesweeper/internal/alloc"
+	"minesweeper/internal/control"
 )
 
 // Addr is a virtual address in the simulated process.
@@ -157,6 +159,93 @@ type Config struct {
 	// by the core-based schemes (MineSweeper variants and Scudo+MS);
 	// ignored elsewhere.
 	Telemetry bool
+
+	// MemoryBudget, when non-zero, bounds the process's resident footprint:
+	// the control plane treats it as the 100% pressure mark, sweeps are
+	// additionally triggered when RSS crosses it, and allocation briefly
+	// pauses while RSS sits above it with sweepable quarantine to reclaim.
+	// Only meaningful for schemes with sweeps (the MineSweeper variants);
+	// Validate rejects it elsewhere.
+	MemoryBudget uint64
+	// Controller selects the policy governing the runtime knobs (sweep
+	// threshold, unmapped factor, pause brake, helper count). Nil with a
+	// MemoryBudget set means AIMDPolicy(); nil without a budget leaves the
+	// heap ungoverned (the fixed-knob behaviour). StaticPolicy() attaches
+	// the control plane for observability while freezing the knobs at
+	// their configured values.
+	Controller Policy
+}
+
+// Policy is a control-plane policy deciding knob adjustments at sweep
+// boundaries. Use StaticPolicy or AIMDPolicy, or implement the interface for
+// custom governing.
+type Policy = control.Policy
+
+// StaticPolicy returns the policy that freezes the configured knobs: the
+// governed heap behaves bit-for-bit like an ungoverned one, while still
+// recording pressure levels for observability. The control group for
+// governor experiments.
+func StaticPolicy() Policy { return control.Static{} }
+
+// AIMDPolicy returns the default adaptive governor: additive increase,
+// multiplicative decrease. Under memory pressure it tightens the sweep
+// trigger, pause brake and unmapped factor multiplicatively and adds sweep
+// helpers; when calm it relaxes additively back toward the configured
+// baseline.
+func AIMDPolicy() Policy { return control.NewAIMD() }
+
+// ErrBadConfig reports an invalid Config, matched with errors.Is.
+var ErrBadConfig = errors.New("minesweeper: invalid config")
+
+// schemeHasSweeps reports whether the scheme runs MineSweeper sweeps (the
+// core-based schemes, for which budget/controller/knob overrides are
+// meaningful).
+func (s Scheme) schemeHasSweeps() bool {
+	switch s {
+	case SchemeMineSweeper, SchemeMineSweeperMostlyConcurrent,
+		SchemeScudoMineSweeper, SchemeMineSweeperDlmalloc:
+		return true
+	}
+	return false
+}
+
+// Validate checks the configuration for nonsense values and returns an error
+// wrapping ErrBadConfig describing the first problem found. NewProcess calls
+// it; callers constructing configs programmatically can call it early.
+//
+// Zero values mean "use the default" and always validate. Explicit values
+// must make sense: SweepThreshold is a fraction in (0, 1] (the quarantine
+// can never exceed the heap that contains it, so a larger value would
+// silently disable sweeping — ask for that explicitly with 1), Helpers and
+// BufferCap cannot be negative, UnmappedFactor below 1 would re-sweep
+// permanently (the paper uses 9), and MemoryBudget/Controller require a
+// scheme that sweeps at all.
+func (c Config) Validate() error {
+	if c.SweepThreshold < 0 || c.SweepThreshold > 1 {
+		return fmt.Errorf("%w: SweepThreshold %v outside (0, 1] (0 = default 0.15)",
+			ErrBadConfig, c.SweepThreshold)
+	}
+	if c.Helpers < 0 {
+		return fmt.Errorf("%w: negative Helpers %d (0 = default %d)",
+			ErrBadConfig, c.Helpers, 6)
+	}
+	if c.BufferCap < 0 {
+		return fmt.Errorf("%w: negative BufferCap %d (0 = default)",
+			ErrBadConfig, c.BufferCap)
+	}
+	if c.UnmappedFactor != 0 && c.UnmappedFactor < 1 {
+		return fmt.Errorf("%w: UnmappedFactor %v below 1 (0 = default 9; values under 1 would trigger permanent re-sweeping)",
+			ErrBadConfig, c.UnmappedFactor)
+	}
+	if c.MemoryBudget > 0 && !c.Scheme.schemeHasSweeps() {
+		return fmt.Errorf("%w: MemoryBudget set but scheme %v has no sweeps to govern",
+			ErrBadConfig, c.Scheme)
+	}
+	if c.Controller != nil && !c.Scheme.schemeHasSweeps() {
+		return fmt.Errorf("%w: Controller set but scheme %v has no sweeps to govern",
+			ErrBadConfig, c.Scheme)
+	}
+	return nil
 }
 
 // Stats is a snapshot of a Process's memory-management statistics.

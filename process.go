@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"minesweeper/internal/alloc"
+	"minesweeper/internal/control"
 	"minesweeper/internal/core"
 	"minesweeper/internal/crcount"
 	"minesweeper/internal/dangsan"
@@ -30,8 +31,13 @@ type Process struct {
 	tel   *telemetry.Registry
 }
 
-// NewProcess creates a process protected by the configured scheme.
+// NewProcess creates a process protected by the configured scheme. The
+// configuration is validated first; nonsense values fail with an error
+// wrapping ErrBadConfig rather than misbehaving silently.
 func NewProcess(cfg Config) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	space := mem.NewAddressSpace()
 	world := sim.NewWorld()
 
@@ -87,6 +93,25 @@ func coreConfig(cfg Config, world *sim.World) core.Config {
 	ccfg.Unmapping = !cfg.DisableUnmapping
 	ccfg.Purging = !cfg.DisablePurging
 	ccfg.DebugDoubleFree = cfg.DebugDoubleFree
+	if cfg.MemoryBudget > 0 || cfg.Controller != nil {
+		pol := cfg.Controller
+		if pol == nil {
+			pol = control.NewAIMD()
+		}
+		// The plane's base knobs are the resolved core values, so a Static
+		// policy reproduces the ungoverned behaviour exactly and an
+		// adaptive one relaxes back to precisely the configured state.
+		ccfg.Control = control.NewPlane(control.Config{
+			Base: control.Knobs{
+				SweepThreshold: ccfg.SweepThreshold,
+				UnmappedFactor: ccfg.UnmappedFactor,
+				PauseThreshold: ccfg.PauseThreshold,
+				Helpers:        ccfg.Helpers,
+			},
+			Budget: cfg.MemoryBudget,
+			Policy: pol,
+		})
+	}
 	return ccfg
 }
 
@@ -209,6 +234,18 @@ func (p *Process) Stats() Stats {
 // registry is live: snapshot it at any time, or publish it with
 // PublishExpvar to serve it from /debug/vars.
 func (p *Process) Telemetry() *telemetry.Registry { return p.tel }
+
+// Governor returns a snapshot of the control plane's state — policy,
+// pressure level, effective knobs, recent decisions — or nil when the
+// process is ungoverned (no MemoryBudget or Controller configured).
+func (p *Process) Governor() *control.State {
+	h, ok := p.heap.(*core.Heap)
+	if !ok || h.Control() == nil {
+		return nil
+	}
+	st := h.Control().State()
+	return &st
+}
 
 // RSS returns the simulated resident footprint in bytes.
 func (p *Process) RSS() uint64 { return p.space.RSS() }

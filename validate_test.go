@@ -1,0 +1,97 @@
+package minesweeper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring expected in the error
+	}{
+		{"sweep threshold negative", Config{Scheme: SchemeMineSweeper, SweepThreshold: -0.1}, "SweepThreshold"},
+		{"sweep threshold above one", Config{Scheme: SchemeMineSweeper, SweepThreshold: 1.5}, "SweepThreshold"},
+		{"sweep threshold huge", Config{Scheme: SchemeMineSweeper, SweepThreshold: 1e18}, "SweepThreshold"},
+		{"negative helpers", Config{Scheme: SchemeMineSweeper, Helpers: -1}, "Helpers"},
+		{"negative buffer cap", Config{Scheme: SchemeMineSweeper, BufferCap: -8}, "BufferCap"},
+		{"unmapped factor below one", Config{Scheme: SchemeMineSweeper, UnmappedFactor: 0.5}, "UnmappedFactor"},
+		{"unmapped factor negative", Config{Scheme: SchemeMineSweeper, UnmappedFactor: -9}, "UnmappedFactor"},
+		{"budget on sweepless scheme", Config{Scheme: SchemeBaseline, MemoryBudget: 1 << 30}, "MemoryBudget"},
+		{"budget on markus", Config{Scheme: SchemeMarkUs, MemoryBudget: 1 << 30}, "MemoryBudget"},
+		{"budget on ffmalloc", Config{Scheme: SchemeFFMalloc, MemoryBudget: 1 << 30}, "MemoryBudget"},
+		{"controller on sweepless scheme", Config{Scheme: SchemeBaseline, Controller: AIMDPolicy()}, "Controller"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("error %v does not wrap ErrBadConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad field %q", err, tc.want)
+			}
+			// New must refuse the same configs.
+			if _, err := NewProcess(tc.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("NewProcess error %v does not wrap ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsDefaultsAndSaneConfigs(t *testing.T) {
+	cases := []Config{
+		{},
+		{Scheme: SchemeMineSweeper},
+		{Scheme: SchemeMineSweeper, SweepThreshold: 0.25, Helpers: 2, BufferCap: 64, UnmappedFactor: 4},
+		{Scheme: SchemeMineSweeper, SweepThreshold: 1},      // manual-sweep idiom
+		{Scheme: SchemeMineSweeper, PauseThreshold: -1},     // documented: disables pausing
+		{Scheme: SchemeMineSweeper, MemoryBudget: 64 << 20}, // nil controller -> AIMD
+		{Scheme: SchemeMineSweeper, MemoryBudget: 64 << 20, Controller: StaticPolicy()},
+		{Scheme: SchemeMineSweeperMostlyConcurrent, MemoryBudget: 64 << 20},
+		{Scheme: SchemeScudoMineSweeper, MemoryBudget: 64 << 20},
+		{Scheme: SchemeMineSweeperDlmalloc, MemoryBudget: 64 << 20},
+		{Scheme: SchemeMineSweeper, Controller: AIMDPolicy()}, // controller without budget: age signal only
+		{Scheme: SchemeMarkUs, SweepThreshold: 0.25},
+	}
+	for _, cfg := range cases {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected sane config %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestGovernedProcessExposesGovernor(t *testing.T) {
+	p, err := NewProcess(Config{Scheme: SchemeMineSweeper, MemoryBudget: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	g := p.Governor()
+	if g == nil {
+		t.Fatal("governed process returned nil Governor")
+	}
+	if g.Policy != "aimd" {
+		t.Fatalf("default governed policy %q, want aimd (nil Controller with a budget)", g.Policy)
+	}
+	if g.Budget != 256<<20 {
+		t.Fatalf("governor budget %d, want %d", g.Budget, 256<<20)
+	}
+	if g.Knobs != g.Base {
+		t.Fatalf("fresh governor knobs %+v differ from base %+v", g.Knobs, g.Base)
+	}
+
+	u, err := NewProcess(Config{Scheme: SchemeMineSweeper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if u.Governor() != nil {
+		t.Fatal("ungoverned process returned a Governor")
+	}
+}
