@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-all telemetry-overhead governor-overhead governor-gate figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead governor-overhead governor-gate figures examples clean
 
 all: build vet test
 
@@ -16,6 +16,7 @@ help:
 	@echo "  bench      sweep hot-path benchmarks (bulk scan, markers, page scan)"
 	@echo "  bench-free malloc/free hot-path benchmarks (fixed-iteration protocol)"
 	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
+	@echo "  bench-gate gate: fresh MallocFree64 medians within BENCH_GATE_RATIO of BENCH_free.json"
 	@echo "  bench-all  every benchmark in the repository"
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
 	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
@@ -39,7 +40,7 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/control ./internal/workload
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/control ./internal/workload
 
 # The pre-merge gate: static checks plus the hot-path race pass.
 check: vet race-hot
@@ -67,6 +68,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_free.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
 		| $(GO) run ./cmd/benchjson > BENCH_sweep.json
+
+# Benchmark regression gate: re-run the malloc/free comparison at the recorded
+# protocol and fail if any benchmark's fresh median exceeds its committed
+# BENCH_free.json median by more than BENCH_GATE_RATIO. The default envelope
+# is wide (1.5x) because the committed medians are window-scoped: on this
+# shared-tenancy 1-CPU host, identical binaries drift ±25-30% between
+# windows (EXPERIMENTS.md "Per-thread quarantine rings" records the
+# measurement), so a 1.10 gate would flag weather, not regressions. On a
+# quiet dedicated host tighten it: make bench-gate BENCH_GATE_RATIO=1.10.
+BENCH_GATE_RATIO ?= 1.5
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -count=5 . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_free.json -match MallocFree64 -max-ratio $(BENCH_GATE_RATIO)
 
 # Telemetry-overhead gate: interleaved fixed-iteration rounds of the 64-byte
 # malloc/free pair with and without the telemetry registry attached; fails if

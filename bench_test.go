@@ -161,7 +161,11 @@ func BenchmarkMallocFree64_FFMalloc(b *testing.B) {
 // buffer). On a 1-CPU host this measures contention on the allocator's
 // shared structures — the page map above all — rather than parallel speedup.
 func benchMallocFreePar(b *testing.B, scheme minesweeper.Scheme, size uint64, par int) {
-	p, err := minesweeper.NewProcess(minesweeper.Config{Scheme: scheme})
+	benchMallocFreeParCfg(b, minesweeper.Config{Scheme: scheme}, size, par)
+}
+
+func benchMallocFreeParCfg(b *testing.B, cfg minesweeper.Config, size uint64, par int) {
+	p, err := minesweeper.NewProcess(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -203,6 +207,18 @@ func BenchmarkMallocFree64Par8_Baseline(b *testing.B) {
 
 func BenchmarkMallocFree64Par8_MineSweeper(b *testing.B) {
 	benchMallocFreePar(b, minesweeper.SchemeMineSweeper, 64, 8)
+}
+
+// BenchmarkMallocFree64Par8_MineSweeperGoverned is the contended fast path
+// with the adaptive control plane attached under a slack budget: 8 threads'
+// private rings drain into the sharded quarantine while the governor samples
+// sweep boundaries. Gates that the governor adds no cross-thread serialisation
+// beyond plain MineSweeper's.
+func BenchmarkMallocFree64Par8_MineSweeperGoverned(b *testing.B) {
+	benchMallocFreeParCfg(b, minesweeper.Config{
+		Scheme:       minesweeper.SchemeMineSweeper,
+		MemoryBudget: 1 << 40,
+	}, 64, 8)
 }
 
 func BenchmarkLoadStore_MineSweeper(b *testing.B) {

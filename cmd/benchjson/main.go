@@ -21,6 +21,19 @@
 //	        -base BenchmarkMallocFree64_MineSweeper \
 //	        -probe BenchmarkMallocFree64_MineSweeperTelemetry \
 //	        -max-ratio 1.03 -stat min
+//
+// Envelope mode compares a fresh run against a checked-in baseline JSON (a
+// previous run of this tool) and fails when any matching benchmark's
+// statistic exceeds its recorded value by more than the allowed ratio — the
+// regression gate over the committed BENCH_free.json numbers:
+//
+//	go test -run '^$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -count=5 . \
+//	    | go run ./cmd/benchjson -baseline BENCH_free.json \
+//	        -match 'MallocFree64' -max-ratio 1.10
+//
+// Benchmarks present in the fresh run but absent from the baseline are
+// reported and skipped (a new benchmark is not a regression); benchmarks in
+// the baseline but missing from the run are ignored (the run may be scoped).
 package main
 
 import (
@@ -77,8 +90,10 @@ func splitName(s string) (string, int) {
 func main() {
 	base := flag.String("base", "", "gate mode: base benchmark name (without -P suffix)")
 	probe := flag.String("probe", "", "gate mode: probe benchmark name compared against -base")
-	maxRatio := flag.Float64("max-ratio", 1.03, "gate mode: fail if probe exceeds base by this ratio")
-	stat := flag.String("stat", "median", "gate mode: statistic to compare, median or min (min resists warm-up drift)")
+	maxRatio := flag.Float64("max-ratio", 1.03, "gate/envelope mode: fail if probe exceeds base(line) by this ratio")
+	stat := flag.String("stat", "median", "gate/envelope mode: statistic to compare, median or min (min resists warm-up drift)")
+	baseline := flag.String("baseline", "", "envelope mode: baseline JSON file (a previous benchjson run) to compare the fresh run against")
+	match := flag.String("match", "", "envelope mode: only check benchmarks whose name contains this substring (empty = all)")
 	flag.Parse()
 
 	byName := make(map[string]*result)
@@ -140,6 +155,10 @@ func main() {
 		gate(out, *base, *probe, *maxRatio, *stat)
 		return
 	}
+	if *baseline != "" {
+		envelope(out, *baseline, *match, *maxRatio, *stat)
+		return
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -154,24 +173,7 @@ func main() {
 // estimator when early runs of a process carry warm-up cost that medians
 // would count as regression.
 func gate(results []*result, base, probe string, maxRatio float64, stat string) {
-	pick := func(r *result) float64 {
-		switch stat {
-		case "min":
-			m := r.NsPerOp[0]
-			for _, v := range r.NsPerOp[1:] {
-				if v < m {
-					m = v
-				}
-			}
-			return m
-		case "median":
-			return r.MedianNsOp
-		default:
-			fmt.Fprintf(os.Stderr, "benchjson: gate: unknown -stat %q\n", stat)
-			os.Exit(2)
-			return 0
-		}
-	}
+	pick := func(r *result) float64 { return pickStat(r, stat) }
 	find := func(name string) *result {
 		for _, r := range results {
 			if r.Name == name && len(r.NsPerOp) > 0 {
@@ -198,4 +200,84 @@ func gate(results []*result, base, probe string, maxRatio float64, stat string) 
 		os.Exit(1)
 	}
 	fmt.Println("gate OK")
+}
+
+// pickStat extracts the comparison statistic from a result's runs. Median is
+// the committed-number statistic (what BENCH_free.json records); min resists
+// the warm-up drift a fresh process's early runs carry.
+func pickStat(r *result, stat string) float64 {
+	switch stat {
+	case "min":
+		m := r.NsPerOp[0]
+		for _, v := range r.NsPerOp[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case "median":
+		return r.MedianNsOp
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -stat %q\n", stat)
+		os.Exit(2)
+		return 0
+	}
+}
+
+// envelope compares every matching fresh result against the same-named entry
+// in the baseline file and exits nonzero if any exceeds its recorded
+// statistic by more than maxRatio. The baseline's committed medians come
+// from the same fixed-iteration protocol, so the ratio is iteration-count
+// comparable; the envelope absorbs host noise between sessions.
+func envelope(fresh []*result, baselineFile, match string, maxRatio float64, stat string) {
+	data, err := os.ReadFile(baselineFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: envelope:", err)
+		os.Exit(2)
+	}
+	var recorded []*result
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: envelope: parsing %s: %v\n", baselineFile, err)
+		os.Exit(2)
+	}
+	byName := make(map[string]*result, len(recorded))
+	for _, r := range recorded {
+		if len(r.NsPerOp) > 0 {
+			byName[r.Name] = r
+		}
+	}
+	checked, failed := 0, 0
+	for _, f := range fresh {
+		if len(f.NsPerOp) == 0 || (match != "" && !strings.Contains(f.Name, match)) {
+			continue
+		}
+		b, ok := byName[f.Name]
+		if !ok {
+			fmt.Printf("envelope %s: not in %s, skipped (new benchmark)\n", f.Name, baselineFile)
+			continue
+		}
+		bv, fv := pickStat(b, stat), pickStat(f, stat)
+		if bv <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: envelope: baseline %s %s is %v\n", f.Name, stat, bv)
+			os.Exit(2)
+		}
+		ratio := fv / bv
+		verdict := "ok"
+		if ratio > maxRatio {
+			verdict = "FAILED"
+			failed++
+		}
+		checked++
+		fmt.Printf("envelope %s (%s): %.1f ns vs recorded %.1f ns = %.4fx (limit %.2fx) %s\n",
+			f.Name, stat, fv, bv, ratio, maxRatio, verdict)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: envelope: no benchmarks matched")
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: envelope FAILED: %d of %d benchmarks regressed\n", failed, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("envelope OK: %d benchmarks within %.2fx of %s\n", checked, maxRatio, baselineFile)
 }

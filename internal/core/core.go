@@ -103,6 +103,17 @@ type Config struct {
 	Helpers int
 	// BufferCap is the thread-local quarantine buffer capacity.
 	BufferCap int
+	// SweepFloorBytes is the minimum sweepable quarantine (mapped bytes
+	// minus failed frees) for the §3.2 threshold trigger to fire. A sweep
+	// costs a whole-heap scan regardless of how little it reclaims, so on a
+	// tiny heap — where any quarantine at all exceeds 15% — the ratio alone
+	// would re-trigger after a handful of frees and the fixed scan cost
+	// would dwarf the reclaim. The floor lets the quarantine accumulate a
+	// worthwhile batch first; on any realistically sized heap the 15% line
+	// sits far above it and the floor never engages. It gates only the
+	// ratio trigger: the unmapped-factor and budget triggers compare
+	// against resident memory, which bounds their cost by construction.
+	SweepFloorBytes uint64
 
 	// Optimisation and partial-version switches (Figures 15-17).
 
@@ -149,23 +160,30 @@ type Config struct {
 // 15% sweep threshold, 9x unmapped factor, 6 helpers, all optimisations on.
 func DefaultConfig() Config {
 	return Config{
-		Mode:           FullyConcurrent,
-		SweepThreshold: 0.15,
-		UnmappedFactor: 9.0,
-		PauseThreshold: 3.0,
-		Helpers:        sweep.DefaultHelpers,
-		BufferCap:      quarantine.DefaultBufferCap,
-		Quarantine:     true,
-		Zeroing:        true,
-		Unmapping:      true,
-		Sweeping:       true,
-		FailedFrees:    true,
-		Purging:        true,
+		Mode:            FullyConcurrent,
+		SweepThreshold:  0.15,
+		UnmappedFactor:  9.0,
+		PauseThreshold:  3.0,
+		Helpers:         sweep.DefaultHelpers,
+		BufferCap:       quarantine.DefaultBufferCap,
+		SweepFloorBytes: DefaultSweepFloorBytes,
+		Quarantine:      true,
+		Zeroing:         true,
+		Unmapping:       true,
+		Sweeping:        true,
+		FailedFrees:     true,
+		Purging:         true,
 	}
 }
 
 // unmapMinBytes is the minimum allocation size worth a decommit syscall pair.
 const unmapMinBytes = mem.PageSize
+
+// DefaultSweepFloorBytes is the default minimum sweepable quarantine for a
+// threshold-triggered sweep (see Config.SweepFloorBytes): small enough that
+// any deliberate churn crosses it within tens of frees, large enough that a
+// sweep's fixed whole-heap scan is amortised over thousands of releases.
+const DefaultSweepFloorBytes = 32 << 10
 
 // quiescer is optionally implemented by the World: threads blocked in an
 // allocation pause mark themselves quiescent so they do not stall a
@@ -249,6 +267,9 @@ type Heap struct {
 	// means none, i.e. a forced sweep).
 	tel        atomic.Pointer[telemetry.Registry]
 	trigReason atomic.Uint32
+	// drainHist samples ring-drain latency when telemetry is attached
+	// (registered by SetTelemetry; nil otherwise).
+	drainHist atomic.Pointer[telemetry.Histogram]
 }
 
 var _ alloc.Allocator = (*Heap)(nil)
@@ -337,9 +358,25 @@ func (h *Heap) attach(sub alloc.Substrate) *Heap {
 func (h *Heap) SetTelemetry(reg *telemetry.Registry) {
 	h.tel.Store(reg)
 	if reg == nil {
+		h.drainHist.Store(nil)
 		return
 	}
+	hist := telemetry.NewHistogram("quarantine_drain_ns", "ns", telemetry.DefaultHistShards)
+	reg.RegisterHistogram(hist)
+	h.drainHist.Store(hist)
 	reg.RegisterGauge("quarantine_entries", h.q.Entries)
+	// Entries sitting in thread-private rings, not yet published to the
+	// membership set: occupancy is published at drains and op ticks, so the
+	// gauge lags true occupancy by at most one ring per thread.
+	reg.RegisterGauge("quarantine_ring_entries", func() uint64 {
+		var sum uint64
+		for _, ts := range *h.threads.Load() {
+			if ts != nil {
+				sum += uint64(ts.tbuf.Occupancy())
+			}
+		}
+		return sum
+	})
 	reg.RegisterGauge("quarantine_bytes", h.q.Bytes)
 	reg.RegisterGauge("quarantine_unmapped_bytes", h.q.UnmappedBytes)
 	reg.RegisterGauge("quarantine_failed_bytes", h.q.FailedBytes)
@@ -615,7 +652,7 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		// sweep to finish. While waiting, the thread is quiescent: it
 		// must not block a mostly-concurrent stop-the-world.
 		if ts := h.threadState(tid); ts != nil {
-			ts.tbuf.Flush()
+			ts.tbuf.Drain()
 		}
 		start := time.Now()
 		qz, _ := h.cfg.World.(quiescer)
@@ -704,23 +741,52 @@ func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 		return h.sub.FreeResolved(h.subTidFor(tid), ref, addr)
 	}
 
-	var e *quarantine.Entry
-	if ts != nil {
-		e = ts.tbuf.NewEntry(a.Base, a.Size) // lock-free in the common case
-	} else {
-		e = h.q.NewEntry(a.Base, a.Size)
-	}
-	e.Ref = ref
-	if !h.q.Insert(e) {
-		return h.doubleFree(addr)
+	// Unregistered callers and debug mode take the eager path: membership
+	// insert (and therefore double-free detection) on the spot, per-entry
+	// pending append. Registered threads take the ring path below, where
+	// free() touches only thread-local state and everything shared is
+	// deferred to bulk drains.
+	if ts == nil || h.cfg.DebugDoubleFree {
+		var e *quarantine.Entry
+		if ts != nil {
+			e = ts.tbuf.NewEntry(a.Base, a.Size)
+		} else {
+			e = h.q.NewEntry(a.Base, a.Size)
+		}
+		e.Ref = ref
+		if !h.q.Insert(e) {
+			return h.doubleFree(addr)
+		}
+		// Large allocations that will be unmapped need no explicit
+		// zeroing: the decommit discards their contents (and any pointers
+		// within).
+		unmapped := false
+		if h.cfg.Unmapping && a.Large && a.Size >= unmapMinBytes {
+			if err := h.sub.DecommitExtent(a.Base); err == nil {
+				h.q.NoteUnmapped(e)
+				unmapped = true
+			}
+		}
+		if h.cfg.Zeroing && !unmapped {
+			_ = h.space.Zero(a.Base, a.Size)
+		}
+		h.q.Append([]*quarantine.Entry{e})
+		h.maybeTriggerSweep(tid)
+		return nil
 	}
 
-	// Large allocations that will be unmapped need no explicit zeroing:
-	// the decommit discards their contents (and any pointers within).
+	e := ts.tbuf.NewEntry(a.Base, a.Size) // lock-free in the common case
+	e.Ref = ref
+
+	// Large allocations that will be unmapped need no explicit zeroing: the
+	// decommit discards their contents (and any pointers within). A double
+	// free still waiting in a ring re-decommits harmlessly (DecommitExtent
+	// is idempotent on an uncommitted extent) and loses membership insertion
+	// at drain time.
 	unmapped := false
 	if h.cfg.Unmapping && a.Large && a.Size >= unmapMinBytes {
 		if err := h.sub.DecommitExtent(a.Base); err == nil {
-			h.q.NoteUnmapped(e)
+			e.Unmapped = true // ring-resident: accounted at drain (§4.2)
 			unmapped = true
 		}
 	}
@@ -728,22 +794,36 @@ func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 		_ = h.space.Zero(a.Base, a.Size)
 	}
 
-	if ts == nil {
-		h.q.Append([]*quarantine.Entry{e})
-		h.maybeTriggerSweep(tid)
-		return nil
-	}
-	flushed := ts.tbuf.Push(e)
+	full := ts.tbuf.Push(e) // thread-local append, no shared state
 	ts.freesSinceCheck++
-	// Amortised sweep-trigger check: evaluate on buffer flushes and every
-	// sweepCheckInterval frees rather than on every free. Unmapping a
-	// large allocation moves its bytes to the unmapped account wholesale,
-	// so that trigger (§4.2) is always checked immediately.
-	if flushed || unmapped || ts.freesSinceCheck >= sweepCheckInterval {
+	// Amortised drain and sweep-trigger check: the ring drains at the
+	// sweepCheckInterval tick once it reaches its watermark (or immediately
+	// when full — small ring capacities), and the trigger is evaluated on
+	// the same tick. Unmapping a large allocation moves its bytes to the
+	// unmapped account wholesale, so that drain + trigger check (§4.2)
+	// always happens immediately.
+	if full || unmapped || ts.freesSinceCheck >= sweepCheckInterval {
 		ts.freesSinceCheck = 0
+		if full || unmapped || ts.tbuf.NeedsDrain() {
+			h.drainRing(ts)
+		} else {
+			ts.tbuf.PublishOccupancy()
+		}
 		h.maybeTriggerSweep(tid)
 	}
 	return nil
+}
+
+// drainRing publishes a thread's private ring to the global quarantine,
+// sampling the drain latency when telemetry is attached.
+func (h *Heap) drainRing(ts *threadState) {
+	if hist := h.drainHist.Load(); hist != nil {
+		start := time.Now()
+		ts.tbuf.Drain()
+		hist.Record(uint64(time.Since(start)))
+		return
+	}
+	ts.tbuf.Drain()
 }
 
 // doubleFree accounts an absorbed double free, or reports it in debug mode.
@@ -767,7 +847,8 @@ func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
 	effQ := qb - min64(qb, fb)
 	effH := heapB - min64(heapB, fb)
 	reason := telemetry.TriggerThreshold
-	trigger := float64(effQ) > k.SweepThreshold*float64(effH)
+	trigger := effQ >= h.cfg.SweepFloorBytes &&
+		float64(effQ) > k.SweepThreshold*float64(effH)
 	if !trigger && k.UnmappedFactor > 0 {
 		trigger = float64(h.q.UnmappedBytes()) > k.UnmappedFactor*float64(h.space.RSS())
 		reason = telemetry.TriggerUnmapped
@@ -786,14 +867,21 @@ func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
 		return
 	}
 	h.noteTrigger(reason)
-	// Our thread's buffered frees must be in the global list to be swept.
-	if ts := h.threadState(tid); ts != nil {
-		ts.tbuf.Flush()
-	}
 	if h.cfg.Mode == Synchronous {
+		// The sweep runs inline right now: our buffered frees must be in
+		// the global list to be swept.
+		if ts := h.threadState(tid); ts != nil {
+			ts.tbuf.Drain()
+		}
 		h.runSweep()
 		return
 	}
+	// Concurrent modes do NOT drain the ring here: the trigger fires on
+	// every amortised check while the quarantine sits above threshold, and
+	// draining each time would collapse the ring's watermark amortisation
+	// back to tick-sized batches. Ring-resident entries are bounded (they
+	// drain within one watermark's worth of frees) and are not counted in
+	// effQ, so the trigger decision never depends on them.
 	h.requestSweep()
 }
 
@@ -984,12 +1072,19 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) (released, retained 
 			var fails []*quarantine.Entry
 			refs := make([]alloc.Ref, 0, releaseBatchSize)
 			addrs := make([]uint64, 0, releaseBatchSize)
+			torel := make([]*quarantine.Entry, 0, releaseBatchSize)
 			errs := make([]error, releaseBatchSize)
 			released := uint64(0)
 			flush := func() {
 				if len(addrs) == 0 {
 					return
 				}
+				// Membership leaves before the substrate free (a re-free
+				// racing this window must not be absorbed as a duplicate of
+				// an allocation that no longer exists); the whole batch is
+				// removed under one shard-lock pass, then freed under the
+				// substrate's batched locks.
+				rel.ReleaseBatch(torel)
 				h.sub.FreeBatch(tid, refs, addrs, errs[:len(addrs)])
 				for _, err := range errs[:len(addrs)] {
 					if err == nil {
@@ -1008,7 +1103,7 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) (released, retained 
 					}
 					panic("core: substrate free failed: " + err.Error())
 				}
-				refs, addrs = refs[:0], addrs[:0]
+				refs, addrs, torel = refs[:0], addrs[:0], torel[:0]
 			}
 			for _, e := range locked[lo:hi] {
 				dangling := false
@@ -1025,11 +1120,11 @@ func (h *Heap) filterAndRecycle(locked []*quarantine.Entry) (released, retained 
 					// Partial version: counted but freed anyway.
 					h.failedFrees.Add(1)
 				}
-				// e is recycled by Release; its base and ref survive in
-				// the batch.
+				// e is recycled by the flush's ReleaseBatch; its base and
+				// ref survive in the batch.
 				refs = append(refs, e.Ref)
 				addrs = append(addrs, e.Base)
-				rel.Release(e)
+				torel = append(torel, e)
 				released++
 				if len(addrs) == releaseBatchSize {
 					flush()
@@ -1062,7 +1157,7 @@ func (h *Heap) Sweep() { h.runSweep() }
 // FlushThread publishes tid's buffered frees to the global quarantine.
 func (h *Heap) FlushThread(tid alloc.ThreadID) {
 	if ts := h.threadState(tid); ts != nil {
-		ts.tbuf.Flush()
+		ts.tbuf.Drain()
 	}
 }
 
@@ -1102,8 +1197,16 @@ func (h *Heap) Stats() alloc.Stats {
 	return st
 }
 
-// Shutdown implements alloc.Allocator: stops the sweeper thread.
+// Shutdown implements alloc.Allocator: drains every registered thread's
+// quarantine ring (so buffered frees become visible to accounting — callers
+// expect a quiesced heap's Stats to reflect every Free issued) and stops the
+// sweeper thread.
 func (h *Heap) Shutdown() {
+	for _, ts := range *h.threads.Load() {
+		if ts != nil {
+			ts.tbuf.Drain()
+		}
+	}
 	if h.cfg.Mode != Synchronous {
 		close(h.stop)
 		h.wg.Wait()

@@ -1,0 +1,194 @@
+package jemalloc
+
+import (
+	"reflect"
+	"testing"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/mem"
+)
+
+// tcacheSnapshot captures one thread cache's observable end state per class:
+// the cached addresses in stack order and, for each, whether the backing
+// extent's cachemap bit is set. Extent pointers differ between heaps, so the
+// comparison is by address and bit, not by identity.
+type tcacheSnapshot struct {
+	addrs  [][]uint64
+	cached [][]bool
+}
+
+func snapshotTcache(tc *tcache) tcacheSnapshot {
+	var s tcacheSnapshot
+	s.addrs = make([][]uint64, NumClasses())
+	s.cached = make([][]bool, NumClasses())
+	for c := 0; c < NumClasses(); c++ {
+		for _, it := range tc.bins[c].items {
+			s.addrs[c] = append(s.addrs[c], it.addr)
+			s.cached[c] = append(s.cached[c], it.ext.regionCached(int(it.reg)))
+		}
+	}
+	return s
+}
+
+// TestAllocBatchOracle proves the batched refill path is a pure performance
+// transform: AllocBatch must leave the heap in exactly the state the same
+// number of serial Mallocs produce — same addresses in the same order, same
+// stats, same slab occupancy, same tcache contents and cachemap bits — across
+// warm, cold, and refill-spanning batch sizes, with and without a tcache.
+func TestAllocBatchOracle(t *testing.T) {
+	for _, tcEnabled := range []bool{true, false} {
+		for _, seed := range []uint64{1, 7, 42, 12345} {
+			cfg := DefaultConfig()
+			cfg.TcacheEnabled = tcEnabled
+			cfg.Arenas = 2
+			ha := New(mem.NewAddressSpace(), cfg) // serial replay
+			hb := New(mem.NewAddressSpace(), cfg) // batched
+			var tids []alloc.ThreadID
+			for i := 0; i < 3; i++ {
+				ta := ha.RegisterThread()
+				tb := hb.RegisterThread()
+				if ta != tb {
+					t.Fatal("thread registration diverged")
+				}
+				tids = append(tids, ta)
+			}
+			// Warm both heaps through an identical malloc/free mix so the
+			// batch runs against partially filled tcaches, non-empty slabs,
+			// and populated dirty lists (not just a cold heap).
+			live := oracleWorkload(t, ha, hb, tids, seed)
+			rng := seed ^ 0xA5A5A5A5
+			for i, a := range live {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				if rng%3 != 0 {
+					continue
+				}
+				tid := tids[rng%uint64(len(tids))]
+				if err := ha.Free(tid, a); err != nil {
+					t.Fatalf("heap A Free: %v", err)
+				}
+				if err := hb.Free(tid, a); err != nil {
+					t.Fatalf("heap B Free: %v", err)
+				}
+				live[i] = 0
+			}
+
+			// Batch sizes chosen to exercise: cache hit only, one refill,
+			// several refills back to back, and the large serial fallback.
+			for _, c := range []struct {
+				size uint64
+				n    int
+			}{
+				{48, 3},    // pops within one cached run
+				{48, 40},   // spans multiple fillTarget refills
+				{8, 100},   // high-capacity class, several runs
+				{1800, 20}, // low-capacity class
+				{9000, 4},  // beyond SmallMax: serial fallback path
+				{48, 0},    // empty batch is a no-op
+			} {
+				tid := tids[int(seed)%len(tids)]
+				want := make([]uint64, c.n)
+				for i := range want {
+					a, err := ha.Malloc(tid, c.size)
+					if err != nil {
+						t.Fatalf("serial Malloc(%d): %v", c.size, err)
+					}
+					want[i] = a
+				}
+				got := make([]uint64, c.n)
+				n, err := hb.AllocBatch(tid, c.size, got)
+				if err != nil || n != c.n {
+					t.Fatalf("AllocBatch(%d, %d) = %d, %v", c.size, c.n, n, err)
+				}
+				if c.n > 0 && !reflect.DeepEqual(want, got) {
+					t.Fatalf("seed %d tcache=%v size %d n=%d: addresses diverged\nserial: %#x\nbatch:  %#x",
+						seed, tcEnabled, c.size, c.n, want, got)
+				}
+			}
+
+			if sa, sb := ha.Stats(), hb.Stats(); sa != sb {
+				t.Fatalf("seed %d tcache=%v: Stats diverged:\nserial: %+v\nbatch:  %+v",
+					seed, tcEnabled, sa, sb)
+			}
+			da, db := ha.DetailedStats(), hb.DetailedStats()
+			if !reflect.DeepEqual(da, db) {
+				t.Fatalf("seed %d tcache=%v: DetailedStats diverged:\nserial: %+v\nbatch:  %+v",
+					seed, tcEnabled, da, db)
+			}
+			dba, na := ha.dirtyStats()
+			dbb, nb := hb.dirtyStats()
+			if dba != dbb || na != nb {
+				t.Fatalf("seed %d tcache=%v: dirty lists diverged: (%d bytes, %d) vs (%d bytes, %d)",
+					seed, tcEnabled, dba, na, dbb, nb)
+			}
+			// Thread caches must hold the same addresses in the same stack
+			// order with the same cachemap bits — refill order is part of
+			// the contract, since it decides future Malloc results.
+			for _, tid := range tids {
+				tca, tcb := ha.tcacheFor(tid), hb.tcacheFor(tid)
+				if (tca == nil) != (tcb == nil) {
+					t.Fatalf("tcache presence diverged for tid %d", tid)
+				}
+				if tca == nil {
+					continue
+				}
+				sa, sb := snapshotTcache(tca), snapshotTcache(tcb)
+				if !reflect.DeepEqual(sa, sb) {
+					t.Fatalf("seed %d: tcache state diverged for tid %d:\nserial: %+v\nbatch:  %+v",
+						seed, tid, sa, sb)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocBatchInterleavesWithFree: batches interleaved with frees and
+// FreeBatch keep the two heaps in lockstep — the refill run must come off the
+// same slabs a serial malloc sequence would use after the same frees.
+func TestAllocBatchInterleavesWithFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Arenas = 2
+	ha := New(mem.NewAddressSpace(), cfg)
+	hb := New(mem.NewAddressSpace(), cfg)
+	ta := ha.RegisterThread()
+	tb := hb.RegisterThread()
+	rng := uint64(99)
+	var live []uint64
+	for round := 0; round < 50; round++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		size := rng%1024 + 1
+		n := int(rng%16) + 1
+		want := make([]uint64, n)
+		for i := range want {
+			a, err := ha.Malloc(ta, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = a
+		}
+		got := make([]uint64, n)
+		if m, err := hb.AllocBatch(tb, size, got); err != nil || m != n {
+			t.Fatalf("round %d: AllocBatch = %d, %v", round, m, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: addresses diverged", round)
+		}
+		live = append(live, want...)
+		// Free a prefix of the oldest survivors on both heaps.
+		k := len(live) / 3
+		for _, a := range live[:k] {
+			if err := ha.Free(ta, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := hb.Free(tb, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live = append(live[:0], live[k:]...)
+	}
+	if sa, sb := ha.Stats(), hb.Stats(); sa != sb {
+		t.Fatalf("Stats diverged:\nserial: %+v\nbatch:  %+v", sa, sb)
+	}
+	if !reflect.DeepEqual(ha.DetailedStats(), hb.DetailedStats()) {
+		t.Fatal("DetailedStats diverged")
+	}
+}

@@ -64,11 +64,24 @@ type Heap struct {
 	tcaches  atomic.Pointer[[]*tcache]
 	nthreads atomic.Int32
 
-	allocated atomic.Int64 // live usable bytes
-	largeLive atomic.Int64 // live large usable bytes
+	// Hot-path statistics live in per-thread stripes (indexed by thread ID,
+	// padded to a cache line) so every Malloc/Free is not a rendezvous on
+	// one heap-global cache line. Each update lands wholly on one stripe,
+	// so sums over stripes are exact — readers (AllocatedBytes, Stats) pay
+	// the summation, which is off the per-operation path.
+	ctrs      []counterStripe
+	largeLive atomic.Int64 // live large usable bytes (slow path; unstriped)
 	slabBytes atomic.Int64 // bytes in live slabs
+}
+
+// counterStripe holds one stripe of the hot-path counters. The trailing pad
+// rounds the struct to a 128-byte cache-line pair so neighbouring stripes
+// never false-share.
+type counterStripe struct {
+	allocated atomic.Int64 // live usable bytes
 	mallocs   atomic.Uint64
 	frees     atomic.Uint64
+	_         [104]byte
 }
 
 var _ alloc.Substrate = (*Heap)(nil)
@@ -85,11 +98,16 @@ func New(space *mem.AddressSpace, cfg Config) *Heap {
 			nshards = 4
 		}
 	}
+	nstripes := 1
+	for nstripes < runtime.GOMAXPROCS(0) && nstripes < 8 {
+		nstripes <<= 1
+	}
 	h := &Heap{
 		space:  space,
 		cfg:    cfg,
 		pm:     newRtree(),
 		shards: make([]heapShard, nshards),
+		ctrs:   make([]counterStripe, nstripes),
 	}
 	for s := range h.shards {
 		sh := &h.shards[s]
@@ -124,6 +142,12 @@ func (h *Heap) shardFor(tid alloc.ThreadID) *heapShard {
 // shardOf returns the shard owning an extent.
 func (h *Heap) shardOf(e *Extent) *heapShard {
 	return &h.shards[e.shard]
+}
+
+// ctr returns the statistics stripe for a thread (stripe count is a power of
+// two, so this is one mask).
+func (h *Heap) ctr(tid alloc.ThreadID) *counterStripe {
+	return &h.ctrs[int(uint32(tid))&(len(h.ctrs)-1)]
 }
 
 // RegisterThread implements alloc.Allocator.
@@ -209,9 +233,60 @@ func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 		usable = e.size
 		h.largeLive.Add(int64(usable))
 	}
-	h.allocated.Add(int64(usable))
-	h.mallocs.Add(1)
+	c := h.ctr(tid)
+	c.allocated.Add(int64(usable))
+	c.mallocs.Add(1)
 	return addr, nil
+}
+
+// AllocBatch implements alloc.Substrate: len(out) same-sized allocations in
+// one call. Small classes replay the serial tcache protocol exactly — LIFO
+// pops, with each refill pulling a fillTarget run from the shard bin under a
+// single bin-lock acquisition — so the produced addresses, the surviving
+// cache contents, and the extents' cachemap double-free bits are bit-for-bit
+// what len(out) serial Malloc calls would leave. Only the statistics updates
+// are coalesced (two stripe adds per batch instead of two per allocation);
+// the end state is identical. Large sizes take the serial fallback: every
+// large allocation is its own extent carve, with nothing to batch.
+func (h *Heap) AllocBatch(tid alloc.ThreadID, size uint64, out []uint64) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	if size == 0 {
+		size = 1
+	}
+	req := size
+	if h.cfg.PadEnd {
+		req++
+	}
+	if !IsSmall(req) {
+		return alloc.AllocBatchSerial(h, tid, size, out)
+	}
+	class := SizeToClass(req)
+	usable := ClassSize(class)
+	tc := h.tcacheFor(tid)
+	sh := h.shardFor(tid)
+	got := 0
+	var err error
+	for got < len(out) {
+		var addr uint64
+		if tc != nil {
+			addr = tc.pop(class)
+		}
+		if addr == 0 {
+			if addr, err = h.smallSlow(sh, tc, class); err != nil {
+				break
+			}
+		}
+		out[got] = addr
+		got++
+	}
+	if got > 0 {
+		c := h.ctr(tid)
+		c.allocated.Add(int64(usable) * int64(got))
+		c.mallocs.Add(uint64(got))
+	}
+	return got, err
 }
 
 // smallSlow refills the tcache from the shard's bin (or allocates one region
@@ -285,8 +360,9 @@ func (h *Heap) freeInExtent(tid alloc.ThreadID, e *Extent, addr uint64) error {
 	usable := e.size
 	h.shardOf(e).arena.freeExtent(e)
 	h.largeLive.Add(-int64(usable))
-	h.allocated.Add(-int64(usable))
-	h.frees.Add(1)
+	c := h.ctr(tid)
+	c.allocated.Add(-int64(usable))
+	c.frees.Add(1)
 	return nil
 }
 
@@ -317,8 +393,9 @@ func (h *Heap) freeSmall(tid alloc.ThreadID, e *Extent, addr uint64) error {
 			return err
 		}
 	}
-	h.allocated.Add(-int64(usable))
-	h.frees.Add(1)
+	c := h.ctr(tid)
+	c.allocated.Add(-int64(usable))
+	c.frees.Add(1)
 	return nil
 }
 
@@ -502,11 +579,12 @@ func (h *Heap) FreeBatch(tid alloc.ThreadID, refs []alloc.Ref, addrs []uint64, e
 	}
 	sc.put()
 	if freedCount > 0 {
-		h.allocated.Add(-freedBytes)
+		c := h.ctr(tid)
+		c.allocated.Add(-freedBytes)
 		if largeBytes != 0 {
 			h.largeLive.Add(-largeBytes)
 		}
-		h.frees.Add(freedCount)
+		c.frees.Add(freedCount)
 	}
 }
 
@@ -586,8 +664,14 @@ func (h *Heap) PurgeAll() {
 }
 
 // AllocatedBytes returns live usable bytes (the quarantine threshold's
-// denominator component).
-func (h *Heap) AllocatedBytes() uint64 { return uint64(h.allocated.Load()) }
+// denominator component), summed over the counter stripes.
+func (h *Heap) AllocatedBytes() uint64 {
+	var v int64
+	for i := range h.ctrs {
+		v += h.ctrs[i].allocated.Load()
+	}
+	return uint64(v)
+}
 
 // dirtyStats sums (committed dirty bytes, dirty extent count) over shards.
 func (h *Heap) dirtyStats() (uint64, int) {
@@ -601,22 +685,27 @@ func (h *Heap) dirtyStats() (uint64, int) {
 	return bytes, n
 }
 
-// Stats implements alloc.Allocator. The counters are heap-global atomics and
-// the per-shard figures are summed, so the snapshot stays exact under
-// sharding.
+// Stats implements alloc.Allocator. Each counter update lands wholly on one
+// stripe and the per-stripe/per-shard figures are summed, so the snapshot
+// stays exact under striping and sharding.
 func (h *Heap) Stats() alloc.Stats {
 	dirtyBytes, ndirty := h.dirtyStats()
 	var purges uint64
 	for s := range h.shards {
 		purges += h.shards[s].arena.purges.Load()
 	}
+	var mallocs, frees uint64
+	for i := range h.ctrs {
+		mallocs += h.ctrs[i].mallocs.Load()
+		frees += h.ctrs[i].frees.Load()
+	}
 	return alloc.Stats{
-		Allocated:  uint64(h.allocated.Load()),
+		Allocated:  h.AllocatedBytes(),
 		Active:     uint64(h.slabBytes.Load() + h.largeLive.Load()),
 		DirtyBytes: dirtyBytes,
 		MetaBytes:  h.pm.footprint() + uint64(ndirty)*128,
-		Mallocs:    h.mallocs.Load(),
-		Frees:      h.frees.Load(),
+		Mallocs:    mallocs,
+		Frees:      frees,
 		Purges:     purges,
 	}
 }

@@ -51,7 +51,7 @@ type DetailedStats struct {
 // intended for diagnostics, not hot paths.
 func (h *Heap) DetailedStats() DetailedStats {
 	d := DetailedStats{
-		Allocated:  uint64(h.allocated.Load()),
+		Allocated:  h.AllocatedBytes(),
 		SlabBytes:  uint64(h.slabBytes.Load()),
 		LargeBytes: uint64(h.largeLive.Load()),
 		RSS:        h.space.RSS(),

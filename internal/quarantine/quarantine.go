@@ -8,8 +8,9 @@
 //   - a global pending list with epoch lock-in: a sweep atomically takes the
 //     entries "already in quarantine when it starts"; anything freed during
 //     the sweep waits for the next one (§4.3);
-//   - thread-local buffers that batch pending-list appends to reduce lock
-//     contention (contribution (c) in §1.1);
+//   - thread-private quarantine rings that make free()'s enqueue entirely
+//     thread-local and publish membership, accounting, and pending-list
+//     appends in bulk drains (contribution (c) in §1.1);
 //   - byte accounting with the paper's two adjustments: failed frees are
 //     subtracted from both sides of the sweep trigger (§3.2), and unmapped
 //     allocations do not count towards the standard threshold (§4.2).
@@ -32,8 +33,9 @@ type Entry struct {
 	// Failed records that at least one sweep found a (possible) dangling
 	// pointer to this allocation.
 	Failed bool
-	// Epoch is the sweep epoch in which the entry was quarantined
-	// (diagnostic).
+	// Epoch is the sweep epoch in which the entry joined the global pending
+	// list (stamped by Append, under the pending lock, so it is always
+	// consistent with the epoch advance in LockIn).
 	Epoch uint64
 	// Ref is the substrate's opaque container reference (alloc.Ref),
 	// captured when free() resolved the allocation. The sweep's recycle
@@ -46,7 +48,17 @@ type Entry struct {
 	next *Entry // intrusive freelist link, owned by the quarantine
 }
 
-const setShards = 64
+// setShards is the membership-set shard count. Eight (not the 64 of earlier
+// revisions) because membership traffic now arrives in batches — ring drains
+// insert a whole ring and sweep workers remove releaseBatchSize entries at a
+// time — and batching only amortises the shard lock when a batch lands several
+// entries per shard. At 64 shards a 48-entry drain averaged under one entry
+// per touched shard (one lock round-trip each, no better than per-entry
+// locking); at 8 it averages six.
+const (
+	setShardBits = 3
+	setShards    = 1 << setShardBits
+)
 
 // shard is one slice of the membership set: an open-addressing hash table
 // with linear probing and backward-shift deletion, keyed by Entry.Base.
@@ -175,7 +187,12 @@ type Quarantine struct {
 	pendMu  sync.Mutex
 	pending []*Entry
 	spare   []*Entry // recycled pending backing (see Reclaim)
-	epoch   atomic.Uint64
+	// oldestEpoch is the epoch of the oldest entry on the pending list
+	// (meaningful only while the list is non-empty). Appends stamp the
+	// current epoch, so they never lower it; Requeue can, since failed
+	// entries keep the epoch of their original append.
+	oldestEpoch uint64
+	epoch       atomic.Uint64
 
 	bytes         atomic.Int64 // mapped quarantined bytes (excludes unmapped)
 	unmappedBytes atomic.Int64
@@ -189,8 +206,14 @@ func New() *Quarantine {
 	return &Quarantine{}
 }
 
+// shardIdx selects the membership shard for a base from the hash's top bits
+// (the slot index uses the folded low bits, so the two stay independent).
+func shardIdx(base uint64) int {
+	return int(mix(base) >> (64 - setShardBits))
+}
+
 func (q *Quarantine) shardFor(base uint64) *shard {
-	return &q.shards[mix(base)>>58]
+	return &q.shards[shardIdx(base)]
 }
 
 // NewEntry returns a recycled or fresh Entry initialised for (base, size).
@@ -247,7 +270,6 @@ func (q *Quarantine) Insert(e *Entry) bool {
 		return false
 	}
 	s.mu.Unlock()
-	e.Epoch = q.epoch.Load()
 	q.bytes.Add(int64(e.Size))
 	q.entries.Add(1)
 	return true
@@ -267,26 +289,43 @@ func (q *Quarantine) Contains(base uint64) bool {
 }
 
 // Append adds entries (already Inserted) to the pending list for the next
-// lock-in. It is called with thread-buffer batches.
+// lock-in, stamping each with the current epoch. The stamp happens under the
+// pending lock — the same lock LockIn advances the epoch under — so a batch
+// appended concurrently with a lock-in is stamped consistently with the side
+// of the swap it landed on: entries the sweep took carry the pre-advance
+// epoch, entries that missed it carry the post-advance epoch. (An earlier
+// revision stamped at Insert time and advanced the epoch outside the lock,
+// so a flush racing the advance could publish entries whose recorded epoch
+// was already released — the age gauge then under-reported forever and a
+// governor steering on it never escalated.)
 func (q *Quarantine) Append(batch []*Entry) {
 	if len(batch) == 0 {
 		return
 	}
 	q.pendMu.Lock()
+	ep := q.epoch.Load()
+	for _, e := range batch {
+		e.Epoch = ep
+	}
+	if len(q.pending) == 0 {
+		q.oldestEpoch = ep
+	}
 	q.pending = append(q.pending, batch...)
 	q.pendMu.Unlock()
 }
 
 // LockIn atomically takes the current pending list and starts a new epoch.
 // The returned entries are the sweep's candidate set; entries quarantined
-// after LockIn go to the next sweep.
+// after LockIn go to the next sweep. The swap and the epoch advance happen
+// under one critical section so no Append can interleave between them (see
+// Append).
 func (q *Quarantine) LockIn() []*Entry {
 	q.pendMu.Lock()
 	locked := q.pending
 	q.pending = q.spare
 	q.spare = nil
-	q.pendMu.Unlock()
 	q.epoch.Add(1)
+	q.pendMu.Unlock()
 	return locked
 }
 
@@ -307,8 +346,26 @@ func (q *Quarantine) Reclaim(buf []*Entry) {
 }
 
 // Requeue returns failed entries to the pending list so future sweeps retry
-// them.
-func (q *Quarantine) Requeue(failed []*Entry) { q.Append(failed) }
+// them. Unlike Append it preserves each entry's original epoch — the age of a
+// stubborn failed free is measured from when it first went pending — and
+// lowers the oldest-epoch watermark accordingly.
+func (q *Quarantine) Requeue(failed []*Entry) {
+	if len(failed) == 0 {
+		return
+	}
+	oldest := failed[0].Epoch
+	for _, e := range failed[1:] {
+		if e.Epoch < oldest {
+			oldest = e.Epoch
+		}
+	}
+	q.pendMu.Lock()
+	if len(q.pending) == 0 || oldest < q.oldestEpoch {
+		q.oldestEpoch = oldest
+	}
+	q.pending = append(q.pending, failed...)
+	q.pendMu.Unlock()
+}
 
 // NoteUnmapped moves an entry's bytes from the standard quarantine account to
 // the unmapped account (§4.2: unmapped allocations "do not count towards
@@ -365,6 +422,9 @@ type Releaser struct {
 	chainLen                          int
 	bytes, unmappedBytes, failedBytes int64
 	n                                 int64
+	// groups is ReleaseBatch's shard-grouping scratch, reused across batches
+	// so a worker's whole run allocates it once.
+	groups [setShards][]*Entry
 }
 
 // releaseChainLen bounds the length of a donated free chain. A sweep worker
@@ -387,6 +447,47 @@ func (r *Releaser) Release(e *Entry) {
 		s.remove(e.Base)
 	}
 	s.mu.Unlock()
+	r.account(e)
+}
+
+// ReleaseBatch releases a whole batch: membership removal is grouped by shard
+// so the batch costs one shard-lock round-trip per touched shard (at most
+// setShards) instead of one per entry, and the accounting and freelist splice
+// are deferred exactly as in Release. The caller must copy out each entry's
+// Base and Ref first — the entries are recycled here.
+func (r *Releaser) ReleaseBatch(entries []*Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	for i := range r.groups {
+		r.groups[i] = r.groups[i][:0]
+	}
+	for _, e := range entries {
+		si := shardIdx(e.Base)
+		r.groups[si] = append(r.groups[si], e)
+	}
+	for si := range r.groups {
+		g := r.groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		s := &r.q.shards[si]
+		s.mu.Lock()
+		if s.keys != nil {
+			for _, e := range g {
+				s.remove(e.Base)
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, e := range entries {
+		r.account(e)
+	}
+}
+
+// account performs Release's lock-free tail: deferred byte/entry accounting
+// plus the bounded freelist chain.
+func (r *Releaser) account(e *Entry) {
 	if e.Unmapped {
 		r.unmappedBytes -= int64(e.Size)
 	} else {
@@ -424,7 +525,8 @@ func (r *Releaser) Flush() {
 	if r.head != nil {
 		q.putChain(r.head)
 	}
-	*r = Releaser{q: q}
+	groups := r.groups
+	*r = Releaser{q: q, groups: groups}
 }
 
 // Bytes returns mapped quarantined bytes (unmapped entries excluded).
@@ -457,7 +559,10 @@ func (q *Quarantine) OldestPendingEpoch() uint64 {
 	if len(q.pending) == 0 {
 		return q.epoch.Load()
 	}
-	return q.pending[0].Epoch
+	// The tracked watermark, not pending[0].Epoch: Requeue appends failed
+	// entries (which keep old epochs) behind newer appends, so the list is
+	// not epoch-sorted.
+	return q.oldestEpoch
 }
 
 // ForEach calls fn for a snapshot of every quarantined entry. Entries
@@ -494,38 +599,82 @@ func clamp(v int64) uint64 {
 	return uint64(v)
 }
 
-// ThreadBuffer batches pending-list appends for one mutator thread. It is
-// not safe for concurrent use; each thread owns one.
+// ThreadBuffer is one mutator thread's private quarantine ring. free()'s
+// enqueue (Push) touches only thread-local state — no atomics, no shared
+// locks — and the ring drains in bulk: one Drain inserts the whole ring into
+// the sharded membership set grouping entries by shard (one lock round-trip
+// per touched shard), publishes the byte/entry accounting as one set of
+// atomic adds, and appends the survivors to the global pending list under a
+// single pending-lock acquisition.
+//
+// The deferral is visible: until a ring entry is drained it is absent from
+// Contains, from the byte accounts, and from double-free de-duplication
+// (a duplicate waits in the ring and is detected — and counted — when the
+// drain's membership insert loses). The lag is bounded by the ring capacity;
+// a capacity of 1 restores the fully eager behaviour.
+//
+// Not safe for concurrent use; each thread owns one.
 type ThreadBuffer struct {
-	q     *Quarantine
-	batch []*Entry
-	cap   int
-	free  *Entry // local entry cache, refilled from the freelist a chain at a time
+	q    *Quarantine
+	ring []*Entry // fixed backing of cap entries; len is the occupancy
+	cap  int
+	wm   int          // Drain watermark for the amortised tick (see NeedsDrain)
+	free *Entry       // local entry cache, refilled from the freelist a chain at a time
+	occ  atomic.Int32 // occupancy published at drains/ticks for gauges (stale in between)
+
+	// Drain scratch, reused across drains.
+	batch  []*Entry            // membership winners, handed to Append
+	dups   []*Entry            // membership losers (double frees)
+	groups [setShards][]*Entry // shard grouping
 }
 
-// DefaultBufferCap is the default thread-buffer capacity.
+// DefaultBufferCap is the default thread-ring capacity.
 const DefaultBufferCap = 64
 
-// NewThreadBuffer returns a buffer that flushes to q every capN entries
-// (DefaultBufferCap if capN <= 0).
+// NewThreadBuffer returns a ring of capacity capN (DefaultBufferCap if
+// capN <= 0) draining to q.
 func NewThreadBuffer(q *Quarantine, capN int) *ThreadBuffer {
 	if capN <= 0 {
 		capN = DefaultBufferCap
 	}
-	return &ThreadBuffer{q: q, batch: make([]*Entry, 0, capN), cap: capN}
+	wm := 3 * capN / 4
+	if wm < 1 {
+		wm = 1
+	}
+	return &ThreadBuffer{
+		q:     q,
+		ring:  make([]*Entry, 0, capN),
+		cap:   capN,
+		wm:    wm,
+		batch: make([]*Entry, 0, capN),
+		dups:  make([]*Entry, 0, 4),
+	}
 }
 
-// Push buffers an entry, flushing the batch to the global pending list when
-// the buffer fills. It reports whether a flush happened, so the caller can
-// amortise per-free bookkeeping (sweep-trigger checks) over whole batches.
+// Push enqueues an entry on the ring — a single thread-local append, no
+// shared state — and reports whether the ring is now full, in which case the
+// caller must Drain before the next Push. (A Push past capacity is tolerated
+// — the ring grows — but loses the fixed-footprint guarantee.)
 func (b *ThreadBuffer) Push(e *Entry) bool {
-	b.batch = append(b.batch, e)
-	if len(b.batch) >= b.cap {
-		b.Flush()
-		return true
-	}
-	return false
+	b.ring = append(b.ring, e)
+	return len(b.ring) >= b.cap
 }
+
+// Len returns the ring occupancy.
+func (b *ThreadBuffer) Len() int { return len(b.ring) }
+
+// NeedsDrain reports whether the ring has reached its drain watermark (3/4 of
+// capacity). Callers amortising drains over an op tick drain at the watermark
+// so the ring never fills between ticks.
+func (b *ThreadBuffer) NeedsDrain() bool { return len(b.ring) >= b.wm }
+
+// Occupancy returns the occupancy last published by a Drain or
+// PublishOccupancy — readable from any thread, at most one ring of staleness.
+func (b *ThreadBuffer) Occupancy() int { return int(b.occ.Load()) }
+
+// PublishOccupancy publishes the current occupancy for cross-thread readers
+// (gauges). Owner-thread only, like Push.
+func (b *ThreadBuffer) PublishOccupancy() { b.occ.Store(int32(len(b.ring))) }
 
 // NewEntry returns a recycled or fresh Entry initialised for (base, size),
 // drawing on the buffer's local cache so the hot path usually takes no lock.
@@ -542,20 +691,84 @@ func (b *ThreadBuffer) NewEntry(base, size uint64) *Entry {
 	return e
 }
 
-// Flush appends all buffered entries to the global pending list. The buffer
-// backing is reused (Append copies the pointers).
-func (b *ThreadBuffer) Flush() {
-	if len(b.batch) == 0 {
+// Drain publishes the whole ring: membership inserts grouped by shard,
+// double-free losers counted in one add and recycled straight into the local
+// entry cache, byte/entry accounting published as one set of atomic adds, and
+// the winners appended to the pending list in a single Append. Accounting is
+// published before the pending append so a sweep that locks the batch in can
+// never release an entry whose bytes were not yet counted.
+func (b *ThreadBuffer) Drain() {
+	if len(b.ring) == 0 {
+		b.occ.Store(0)
 		return
 	}
-	b.q.Append(b.batch)
-	b.batch = b.batch[:0]
+	q := b.q
+	for i := range b.groups {
+		b.groups[i] = b.groups[i][:0]
+	}
+	for _, e := range b.ring {
+		si := shardIdx(e.Base)
+		b.groups[si] = append(b.groups[si], e)
+	}
+	winners := b.batch[:0]
+	dups := b.dups[:0]
+	for si := range b.groups {
+		g := b.groups[si]
+		if len(g) == 0 {
+			continue
+		}
+		s := &q.shards[si]
+		s.mu.Lock()
+		for _, e := range g {
+			if s.insert(e) {
+				winners = append(winners, e)
+			} else {
+				dups = append(dups, e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	var mapped, unmapped int64
+	for _, e := range winners {
+		if e.Unmapped {
+			unmapped += int64(e.Size)
+		} else {
+			mapped += int64(e.Size)
+		}
+	}
+	if mapped != 0 {
+		q.bytes.Add(mapped)
+	}
+	if unmapped != 0 {
+		q.unmappedBytes.Add(unmapped)
+	}
+	if len(winners) != 0 {
+		q.entries.Add(int64(len(winners)))
+	}
+	if len(dups) != 0 {
+		q.doubleFrees.Add(uint64(len(dups)))
+		for _, e := range dups {
+			e.Ref = nil
+			e.next = b.free
+			b.free = e
+		}
+	}
+	q.Append(winners)
+	b.batch = winners[:0]
+	b.dups = dups[:0]
+	clear(b.ring)
+	b.ring = b.ring[:0]
+	b.occ.Store(0)
 }
 
-// Retire flushes the buffer and donates its local entry cache back to the
+// Flush is Drain, kept under the historical name for call sites that publish
+// a thread's frees before a sweep or pause.
+func (b *ThreadBuffer) Flush() { b.Drain() }
+
+// Retire drains the ring and donates the local entry cache back to the
 // global freelist; the owning thread is going away.
 func (b *ThreadBuffer) Retire() {
-	b.Flush()
+	b.Drain()
 	if b.free != nil {
 		b.q.putChain(b.free)
 		b.free = nil

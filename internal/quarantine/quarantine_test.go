@@ -112,35 +112,196 @@ func TestUnmappedAccounting(t *testing.T) {
 	}
 }
 
-func TestThreadBufferFlushAtCap(t *testing.T) {
+func TestThreadBufferDrainPublishes(t *testing.T) {
 	q := New()
 	tb := NewThreadBuffer(q, 4)
 	for i := 0; i < 3; i++ {
-		e := &Entry{Base: uint64(0x1000 + i*16), Size: 16}
-		q.Insert(e)
-		tb.Push(e)
+		if tb.Push(&Entry{Base: uint64(0x1000 + i*16), Size: 16}) {
+			t.Fatalf("ring full after %d of 4 pushes", i+1)
+		}
+	}
+	// Ring-resident entries are invisible everywhere until the drain.
+	if q.Contains(0x1000) {
+		t.Error("Contains = true for ring-resident entry")
+	}
+	if q.Bytes() != 0 || q.Entries() != 0 {
+		t.Errorf("Bytes/Entries = %d/%d before drain, want 0/0", q.Bytes(), q.Entries())
 	}
 	if got := q.LockIn(); len(got) != 0 {
-		t.Fatalf("pending flushed early: %d entries", len(got))
+		t.Fatalf("pending published early: %d entries", len(got))
 	}
-	e := &Entry{Base: 0x9000, Size: 16}
-	q.Insert(e)
-	tb.Push(e) // hits cap -> flush
+	if !tb.Push(&Entry{Base: 0x9000, Size: 16}) {
+		t.Fatal("Push at capacity did not report full")
+	}
+	tb.Drain()
+	if !q.Contains(0x1000) || !q.Contains(0x9000) {
+		t.Error("Contains = false after drain")
+	}
+	if q.Bytes() != 64 || q.Entries() != 4 {
+		t.Errorf("Bytes/Entries = %d/%d after drain, want 64/4", q.Bytes(), q.Entries())
+	}
 	if got := q.LockIn(); len(got) != 4 {
-		t.Errorf("LockIn after cap flush = %d entries, want 4", len(got))
+		t.Errorf("LockIn after drain = %d entries, want 4", len(got))
 	}
 }
 
-func TestThreadBufferExplicitFlush(t *testing.T) {
+func TestThreadBufferExplicitDrain(t *testing.T) {
 	q := New()
 	tb := NewThreadBuffer(q, 0) // default cap
-	e := &Entry{Base: 0x1000, Size: 16}
-	q.Insert(e)
-	tb.Push(e)
-	tb.Flush()
-	tb.Flush() // empty flush is a no-op
+	tb.Push(&Entry{Base: 0x1000, Size: 16})
+	tb.Drain()
+	tb.Drain() // empty drain is a no-op
 	if got := q.LockIn(); len(got) != 1 {
 		t.Errorf("LockIn = %d entries, want 1", len(got))
+	}
+}
+
+func TestThreadBufferDrainDeduplicates(t *testing.T) {
+	q := New()
+	tb := NewThreadBuffer(q, 8)
+	tb.Push(&Entry{Base: 0x1000, Size: 32})
+	tb.Push(&Entry{Base: 0x1000, Size: 32}) // double free, both still ring-resident
+	tb.Push(&Entry{Base: 0x2000, Size: 16})
+	tb.Drain()
+	if q.DoubleFrees() != 1 {
+		t.Errorf("DoubleFrees = %d, want 1", q.DoubleFrees())
+	}
+	if q.Bytes() != 48 || q.Entries() != 2 {
+		t.Errorf("Bytes/Entries = %d/%d, want 48/2", q.Bytes(), q.Entries())
+	}
+	// A duplicate against an already-drained entry is also caught.
+	tb.Push(&Entry{Base: 0x2000, Size: 16})
+	tb.Drain()
+	if q.DoubleFrees() != 2 {
+		t.Errorf("DoubleFrees = %d after second drain, want 2", q.DoubleFrees())
+	}
+	if got := q.LockIn(); len(got) != 2 {
+		t.Errorf("LockIn = %d entries, want 2 (duplicates must not be pending)", len(got))
+	}
+}
+
+func TestThreadBufferDrainUnmappedAccounting(t *testing.T) {
+	q := New()
+	tb := NewThreadBuffer(q, 4)
+	e := &Entry{Base: 0x4000, Size: 8192, Unmapped: true} // flagged while ring-resident
+	tb.Push(e)
+	tb.Push(&Entry{Base: 0x8000, Size: 64})
+	tb.Drain()
+	if q.Bytes() != 64 {
+		t.Errorf("Bytes = %d, want 64 (unmapped excluded)", q.Bytes())
+	}
+	if q.UnmappedBytes() != 8192 {
+		t.Errorf("UnmappedBytes = %d, want 8192", q.UnmappedBytes())
+	}
+	q.Release(e)
+	if q.UnmappedBytes() != 0 {
+		t.Errorf("UnmappedBytes after release = %d, want 0", q.UnmappedBytes())
+	}
+}
+
+func TestThreadBufferWatermark(t *testing.T) {
+	q := New()
+	tb := NewThreadBuffer(q, 64)
+	for i := 0; i < 47; i++ {
+		tb.Push(&Entry{Base: uint64(0x1000 + i*16), Size: 16})
+	}
+	if tb.NeedsDrain() {
+		t.Error("NeedsDrain = true below watermark")
+	}
+	tb.Push(&Entry{Base: 0x9000, Size: 16})
+	if !tb.NeedsDrain() {
+		t.Error("NeedsDrain = false at watermark (48 of 64)")
+	}
+	if tb.Occupancy() != 0 {
+		t.Errorf("Occupancy = %d before publish, want 0 (stale)", tb.Occupancy())
+	}
+	tb.PublishOccupancy()
+	if tb.Occupancy() != 48 {
+		t.Errorf("Occupancy = %d after publish, want 48", tb.Occupancy())
+	}
+	tb.Drain()
+	if tb.Occupancy() != 0 || tb.Len() != 0 {
+		t.Errorf("Occupancy/Len = %d/%d after drain, want 0/0", tb.Occupancy(), tb.Len())
+	}
+}
+
+// TestAppendEpochLockInRace is the regression test for the flush/epoch-advance
+// race: Append must stamp entries under the same critical section LockIn
+// advances the epoch in, so a drain racing a lock-in can never publish an
+// entry stamped with an epoch the sweep has already released. Run under -race
+// this also exercises the pendMu discipline itself.
+func TestAppendEpochLockInRace(t *testing.T) {
+	q := New()
+	const pushers = 4
+	const perPusher = 3000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tb := NewThreadBuffer(q, 8)
+			for i := 0; i < perPusher; i++ {
+				if tb.Push(&Entry{Base: uint64(g*perPusher+i+1) * 16, Size: 16}) {
+					tb.Drain()
+				}
+			}
+			tb.Drain()
+		}(g)
+	}
+	locked := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			batch := q.LockIn()
+			epoch := q.Epoch() // > stamp of everything in batch
+			for _, e := range batch {
+				if e.Epoch >= epoch {
+					t.Errorf("locked-in entry stamped epoch %d, released at epoch %d (stranded past release)", e.Epoch, epoch)
+					return
+				}
+			}
+			for i := 1; i < len(batch); i++ {
+				if batch[i].Epoch < batch[i-1].Epoch {
+					t.Errorf("pending list epochs not monotonic: %d after %d", batch[i].Epoch, batch[i-1].Epoch)
+					return
+				}
+			}
+			locked += len(batch)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	// Everything drained before the final LockIn rounds must have been taken.
+	final := q.LockIn()
+	if total := locked + len(final); total != pushers*perPusher {
+		t.Errorf("locked-in total = %d, want %d", total, pushers*perPusher)
+	}
+}
+
+func TestRequeueLowersOldestPendingEpoch(t *testing.T) {
+	q := New()
+	a := &Entry{Base: 0x1000, Size: 8}
+	q.Insert(a)
+	q.Append([]*Entry{a})
+	locked := q.LockIn() // epoch 0 -> 1; a carries epoch 0
+	// New free lands at epoch 1, then the failed entry is requeued behind it.
+	b := &Entry{Base: 0x2000, Size: 8}
+	q.Insert(b)
+	q.Append([]*Entry{b})
+	q.Requeue(locked)
+	if got := q.OldestPendingEpoch(); got != 0 {
+		t.Errorf("OldestPendingEpoch = %d, want 0 (requeued entry is oldest)", got)
+	}
+	if age := q.Epoch() - q.OldestPendingEpoch(); age != 1 {
+		t.Errorf("age = %d epochs, want 1", age)
 	}
 }
 
@@ -155,14 +316,11 @@ func TestConcurrentInsertRelease(t *testing.T) {
 			defer wg.Done()
 			tb := NewThreadBuffer(q, 16)
 			for i := 0; i < n; i++ {
-				e := &Entry{Base: uint64(g*n+i+1) * 16, Size: 16}
-				if !q.Insert(e) {
-					t.Errorf("Insert failed for unique base")
-					return
+				if tb.Push(&Entry{Base: uint64(g*n+i+1) * 16, Size: 16}) {
+					tb.Drain()
 				}
-				tb.Push(e)
 			}
-			tb.Flush()
+			tb.Retire()
 		}(g)
 	}
 	wg.Wait()
