@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead governor-overhead governor-gate figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead governor-overhead governor-gate pause-gate figures examples clean
 
 all: build vet test
 
@@ -21,6 +21,7 @@ help:
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
 	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
 	@echo "  governor-gate       gate: governed peak RSS stays within budget+10% on the pressure ramp"
+	@echo "  pause-gate          gate: p99.9 STW pause on pressure-mt under MS_PAUSE_BOUND_NS (default 2^19 ns)"
 	@echo "  figures    regenerate the paper figures (cmd/msbench)"
 	@echo "  examples   run the example programs"
 
@@ -104,6 +105,17 @@ governor-overhead:
 # 10% of the budget. The acceptance experiment for the control plane.
 governor-gate:
 	MS_GOVERNOR_GATE=1 $(GO) test -run '^TestGovernorBudgetBound$$' -count=1 -v ./internal/workload
+
+# Pause-tail gate: run the multi-threaded pressure ramp under the pipelined
+# mostly-concurrent sweep with a real stop-the-world and require the p99.9
+# pause from the exact stw histogram to stay under MS_PAUSE_BOUND_NS. The
+# default bound, 2^19 ns, is a histogram bucket boundary (buckets are powers
+# of two and a quantile reports its bucket's upper edge), so a pass proves
+# the p99.9 pause is under 0.53 ms. The acceptance experiment for the
+# pipelined sweep.
+MS_PAUSE_BOUND_NS ?= 524288
+pause-gate:
+	MS_PAUSE_GATE=1 MS_PAUSE_BOUND_NS=$(MS_PAUSE_BOUND_NS) $(GO) test -run '^TestPauseTailBound$$' -count=1 -v ./internal/workload
 
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:

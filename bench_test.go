@@ -148,6 +148,16 @@ func BenchmarkMallocFree64_MineSweeperGoverned(b *testing.B) {
 	}, 64)
 }
 
+// BenchmarkMallocFree64_MineSweeperMostly is the same fast path under the
+// pipelined mostly-concurrent sweep: snapshot-at-beginning mark, pre-clean
+// rounds and the soft-dirty stop-the-world re-scan. The malloc/free pair
+// itself is identical to the fully concurrent scheme — what this measures is
+// that the pipeline's extra bookkeeping (the dirty-transition CAS on first
+// store to a page, the per-shard quarantine stamp) stays off the hot path.
+func BenchmarkMallocFree64_MineSweeperMostly(b *testing.B) {
+	benchMallocFree(b, minesweeper.SchemeMineSweeperMostlyConcurrent, 64)
+}
+
 func BenchmarkMallocFree64_MarkUs(b *testing.B) {
 	benchMallocFree(b, minesweeper.SchemeMarkUs, 64)
 }
@@ -199,6 +209,10 @@ func BenchmarkMallocFree64Par4_Baseline(b *testing.B) {
 
 func BenchmarkMallocFree64Par4_MineSweeper(b *testing.B) {
 	benchMallocFreePar(b, minesweeper.SchemeMineSweeper, 64, 4)
+}
+
+func BenchmarkMallocFree64Par4_MineSweeperMostly(b *testing.B) {
+	benchMallocFreePar(b, minesweeper.SchemeMineSweeperMostlyConcurrent, 64, 4)
 }
 
 func BenchmarkMallocFree64Par8_Baseline(b *testing.B) {

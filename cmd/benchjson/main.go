@@ -34,6 +34,17 @@
 // Benchmarks present in the fresh run but absent from the baseline are
 // reported and skipped (a new benchmark is not a regression); benchmarks in
 // the baseline but missing from the run are ignored (the run may be scoped).
+//
+// Quantile mode reads a telemetry snapshot (telemetry.Snapshot JSON, as
+// written by msrun -telemetry-json or msstat) instead of bench output and
+// fails when a named histogram's quantile exceeds a bound — the pause-tail
+// gate behind make pause-gate:
+//
+//	go run ./cmd/benchjson -snapshot pause.json \
+//	    -hist stw_pause_ns -q 0.999 -max-ns 524288
+//
+// Histogram quantiles are bucket upper bounds (power-of-two buckets), so a
+// reported p99.9 ≤ 2^19 ns guarantees the true p99.9 is under 1 ms.
 package main
 
 import (
@@ -45,6 +56,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"minesweeper/internal/telemetry"
 )
 
 // result is one benchmark name's aggregated runs.
@@ -94,7 +107,16 @@ func main() {
 	stat := flag.String("stat", "median", "gate/envelope mode: statistic to compare, median or min (min resists warm-up drift)")
 	baseline := flag.String("baseline", "", "envelope mode: baseline JSON file (a previous benchjson run) to compare the fresh run against")
 	match := flag.String("match", "", "envelope mode: only check benchmarks whose name contains this substring (empty = all)")
+	snapshot := flag.String("snapshot", "", "quantile mode: telemetry snapshot JSON file to read histograms from")
+	hist := flag.String("hist", telemetry.HistStw, "quantile mode: histogram name to check")
+	quant := flag.Float64("q", 0.999, "quantile mode: quantile to extract (0..1)")
+	maxNs := flag.Uint64("max-ns", 0, "quantile mode: fail if the quantile (bucket upper bound, ns) exceeds this; 0 just prints")
 	flag.Parse()
+
+	if *snapshot != "" {
+		quantileGate(*snapshot, *hist, *quant, *maxNs)
+		return
+	}
 
 	byName := make(map[string]*result)
 	var names []string // first-seen order
@@ -166,6 +188,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
 		os.Exit(1)
 	}
+}
+
+// quantileGate reads a telemetry snapshot and checks one histogram's quantile
+// against a nanosecond bound. Quantiles are bucket upper bounds, so the check
+// is conservative: a pass guarantees the true quantile is under the bound.
+func quantileGate(file, hist string, q float64, maxNs uint64) {
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: quantile:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	snap, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: quantile:", err)
+		os.Exit(2)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != hist {
+			continue
+		}
+		if h.Count == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: quantile: histogram %s has no samples\n", hist)
+			os.Exit(2)
+		}
+		v := h.Quantile(q)
+		fmt.Printf("quantile %s p%g: <%d ns (n=%d, p50<%d p99<%d p99.9<%d max<%d)\n",
+			hist, q*100, v, h.Count, h.P50, h.P99, h.P999, h.Max())
+		if maxNs > 0 && v > maxNs {
+			fmt.Fprintf(os.Stderr, "benchjson: quantile FAILED: %d ns > %d ns bound\n", v, maxNs)
+			os.Exit(1)
+		}
+		if maxNs > 0 {
+			fmt.Println("quantile OK")
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: quantile: histogram %s not in %s\n", hist, file)
+	os.Exit(2)
 }
 
 // gate compares probe's statistic against base's and exits nonzero on a

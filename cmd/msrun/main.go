@@ -154,23 +154,26 @@ func governedFactory(scheme, budgetStr, policyName string) (schemes.Factory, err
 
 	cfg := core.DefaultConfig()
 	base := control.Knobs{
-		SweepThreshold: cfg.SweepThreshold,
-		UnmappedFactor: cfg.UnmappedFactor,
-		PauseThreshold: cfg.PauseThreshold,
-		Helpers:        cfg.Helpers,
+		SweepThreshold:    cfg.SweepThreshold,
+		UnmappedFactor:    cfg.UnmappedFactor,
+		PauseThreshold:    cfg.PauseThreshold,
+		Helpers:           cfg.Helpers,
+		RescanBudgetPages: cfg.RescanBudgetPages,
 	}
 	rails := control.DefaultRails(base)
 	if policyName == "" {
 		policyName = "aimd"
 	}
 	fmt.Printf("governor: policy=%s budget=%s\n", policyName, fmtBudget(budget))
-	fmt.Printf("  base:   sweep=%.3f unmapped=%.1fx pause=%.2f helpers=%d\n",
-		base.SweepThreshold, base.UnmappedFactor, base.PauseThreshold, base.Helpers)
-	fmt.Printf("  rails:  sweep=[%.4f,%.3f] unmapped=[%.1fx,%.1fx] pause=[%.3f,%.2f] helpers=[%d,%d]\n",
+	fmt.Printf("  base:   sweep=%.3f unmapped=%.1fx pause=%.2f helpers=%d rescan=%dpg\n",
+		base.SweepThreshold, base.UnmappedFactor, base.PauseThreshold, base.Helpers,
+		base.RescanBudgetPages)
+	fmt.Printf("  rails:  sweep=[%.4f,%.3f] unmapped=[%.1fx,%.1fx] pause=[%.3f,%.2f] helpers=[%d,%d] rescan=[%d,%d]\n",
 		rails.SweepThresholdMin, rails.SweepThresholdMax,
 		rails.UnmappedFactorMin, rails.UnmappedFactorMax,
 		rails.PauseThresholdMin, rails.PauseThresholdMax,
-		rails.HelpersMin, rails.HelpersMax)
+		rails.HelpersMin, rails.HelpersMax,
+		rails.RescanBudgetMin, rails.RescanBudgetMax)
 	return f, nil
 }
 

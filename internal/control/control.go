@@ -55,6 +55,13 @@ type Knobs struct {
 	PauseThreshold float64 `json:"pause_threshold"`
 	// Helpers is the helper sweep-worker count (§4.4).
 	Helpers int `json:"helpers"`
+	// RescanBudgetPages is the pipelined sweep's dirty-page budget: the
+	// concurrent pre-clean keeps running rounds until the soft-dirty set
+	// is under this many pages before stopping the world, so a lower
+	// budget buys shorter STW windows with more concurrent scanning.
+	// Zero or negative disables pre-clean (the STW re-scan takes the
+	// dirty set as-is).
+	RescanBudgetPages int `json:"rescan_budget_pages"`
 }
 
 // Rails bound every knob. Decisions are clamped to the rails before
@@ -69,6 +76,8 @@ type Rails struct {
 	PauseThresholdMax float64 `json:"pause_threshold_max"`
 	HelpersMin        int     `json:"helpers_min"`
 	HelpersMax        int     `json:"helpers_max"`
+	RescanBudgetMin   int     `json:"rescan_budget_min"`
+	RescanBudgetMax   int     `json:"rescan_budget_max"`
 }
 
 // DefaultRails derives the standard envelope around a base configuration:
@@ -87,12 +96,20 @@ func DefaultRails(base Knobs) Rails {
 		PauseThresholdMax: base.PauseThreshold,
 		HelpersMin:        base.Helpers,
 		HelpersMax:        2*base.Helpers + 2,
+		RescanBudgetMin:   base.RescanBudgetPages / 8,
+		RescanBudgetMax:   base.RescanBudgetPages,
 	}
 	if base.UnmappedFactor < 1 {
 		// Unmapped trigger disabled (or nonsensical) in the base config:
 		// freeze it rather than inventing one.
 		r.UnmappedFactorMin = base.UnmappedFactor
 		r.UnmappedFactorMax = base.UnmappedFactor
+	}
+	if base.RescanBudgetPages <= 0 {
+		// Pre-clean disabled in the base config: the governor must not
+		// introduce concurrent scan rounds the configuration turned off.
+		r.RescanBudgetMin = base.RescanBudgetPages
+		r.RescanBudgetMax = base.RescanBudgetPages
 	}
 	return r
 }
@@ -107,6 +124,12 @@ func (r Rails) Clamp(k Knobs) Knobs {
 	}
 	if k.Helpers > r.HelpersMax {
 		k.Helpers = r.HelpersMax
+	}
+	if k.RescanBudgetPages < r.RescanBudgetMin {
+		k.RescanBudgetPages = r.RescanBudgetMin
+	}
+	if k.RescanBudgetPages > r.RescanBudgetMax {
+		k.RescanBudgetPages = r.RescanBudgetMax
 	}
 	return k
 }

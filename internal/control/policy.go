@@ -77,6 +77,7 @@ func (a *AIMD) Decide(level Level, _ Inputs, cur, base Knobs, rails Rails) Knobs
 		next.SweepThreshold = relax(cur.SweepThreshold, base.SweepThreshold, a.RelaxFrac)
 		next.UnmappedFactor = relax(cur.UnmappedFactor, base.UnmappedFactor, a.RelaxFrac)
 		next.PauseThreshold = relax(cur.PauseThreshold, base.PauseThreshold, a.RelaxFrac)
+		next.RescanBudgetPages = relaxInt(cur.RescanBudgetPages, base.RescanBudgetPages, a.RelaxFrac)
 		if cur.Helpers > base.Helpers {
 			next.Helpers = cur.Helpers - 1
 		}
@@ -85,11 +86,16 @@ func (a *AIMD) Decide(level Level, _ Inputs, cur, base Knobs, rails Rails) Knobs
 }
 
 // tighten scales the threshold-like knobs down by factor (Helpers is set by
-// the caller).
+// the caller). The rescan budget tightens too: under pressure sweeps come
+// faster, so each one should spend more of its work concurrently (pre-clean
+// down to a smaller dirty set) rather than inside the STW window.
 func tighten(k Knobs, factor float64) Knobs {
 	k.SweepThreshold *= factor
 	k.UnmappedFactor *= factor
 	k.PauseThreshold *= factor
+	if k.RescanBudgetPages > 0 {
+		k.RescanBudgetPages = int(float64(k.RescanBudgetPages) * factor)
+	}
 	return k
 }
 
@@ -99,6 +105,22 @@ func relax(cur, base, frac float64) float64 {
 		return base
 	}
 	next := cur + base*frac
+	if next > base {
+		return base
+	}
+	return next
+}
+
+// relaxInt is relax for integer knobs, stepping by at least one.
+func relaxInt(cur, base int, frac float64) int {
+	if cur >= base {
+		return base
+	}
+	step := int(float64(base) * frac)
+	if step < 1 {
+		step = 1
+	}
+	next := cur + step
 	if next > base {
 		return base
 	}

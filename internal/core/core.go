@@ -84,6 +84,23 @@ type Config struct {
 	// stop-the-world re-scan still runs but without stopping mutators
 	// (acceptable for tests; real runs supply the simulator's world).
 	World sweep.StopTheWorld
+	// ConcurrentMark pipelines the MostlyConcurrent sweep: the full-heap
+	// marking pass runs concurrently with mutators against the quarantine
+	// snapshot taken at lock-in, and only the soft-dirty re-scan (plus the
+	// thread-ring quiesce) sits inside the stop-the-world window, so the
+	// pause scales with the mutators' write rate rather than heap size
+	// (§4.3). When false, the entire mark runs inside the stop-the-world
+	// window — the ablation whose pause grows with the heap. Ignored
+	// outside MostlyConcurrent mode.
+	ConcurrentMark bool
+	// RescanBudgetPages bounds the dirty-page set handed to the
+	// stop-the-world re-scan: while more pages than this are dirty, the
+	// sweeper runs extra concurrent pre-clean rounds (test-and-clear
+	// dirty re-scans, at most maxPreCleanRounds) before stopping the
+	// world. Zero or negative disables pre-cleaning; only meaningful with
+	// ConcurrentMark. Governed heaps steer this knob through the control
+	// plane.
+	RescanBudgetPages int
 
 	// SweepThreshold triggers a sweep when mapped quarantined bytes
 	// (minus failed frees) exceed this fraction of the heap (minus failed
@@ -160,19 +177,21 @@ type Config struct {
 // 15% sweep threshold, 9x unmapped factor, 6 helpers, all optimisations on.
 func DefaultConfig() Config {
 	return Config{
-		Mode:            FullyConcurrent,
-		SweepThreshold:  0.15,
-		UnmappedFactor:  9.0,
-		PauseThreshold:  3.0,
-		Helpers:         sweep.DefaultHelpers,
-		BufferCap:       quarantine.DefaultBufferCap,
-		SweepFloorBytes: DefaultSweepFloorBytes,
-		Quarantine:      true,
-		Zeroing:         true,
-		Unmapping:       true,
-		Sweeping:        true,
-		FailedFrees:     true,
-		Purging:         true,
+		Mode:              FullyConcurrent,
+		ConcurrentMark:    true,
+		RescanBudgetPages: DefaultRescanBudgetPages,
+		SweepThreshold:    0.15,
+		UnmappedFactor:    9.0,
+		PauseThreshold:    3.0,
+		Helpers:           sweep.DefaultHelpers,
+		BufferCap:         quarantine.DefaultBufferCap,
+		SweepFloorBytes:   DefaultSweepFloorBytes,
+		Quarantine:        true,
+		Zeroing:           true,
+		Unmapping:         true,
+		Sweeping:          true,
+		FailedFrees:       true,
+		Purging:           true,
 	}
 }
 
@@ -193,6 +212,34 @@ type quiescer interface {
 	EndQuiescent()
 }
 
+// DefaultRescanBudgetPages is the default dirty-page budget for the
+// stop-the-world re-scan (Config.RescanBudgetPages). One dirty page costs the
+// re-scan a word-by-word scan of PageSize bytes; 512 pages keep the window
+// well under a millisecond on any plausible hardware while making pre-clean
+// rounds rare for ordinary write rates.
+const DefaultRescanBudgetPages = 512
+
+// maxPreCleanRounds caps the concurrent pre-clean passes per sweep. Each
+// round shrinks the dirty set only if the sweeper consumes dirty pages faster
+// than mutators produce them; past a couple of rounds the set has either
+// converged under the budget or reached the mutators' steady-state write
+// footprint, which more rounds cannot shrink.
+const maxPreCleanRounds = 2
+
+// maxStopRetries caps the pause aborts per sweep (see finishPipelinedMark):
+// a stop that freezes more dirty pages than the budget is abandoned, the
+// backlog consumed concurrently, and the stop retried. One abort absorbs the
+// common case — a scheduler gap between the last pre-clean round and the stop
+// letting mutators dirty a burst — and the second keeps a pathological burst
+// from forcing an oversized pause; after that the scan proceeds regardless so
+// a write-storm cannot starve the sweep.
+const maxStopRetries = 2
+
+// maxShardLagEpochs bounds how many sweep epochs a pending quarantine shard
+// may sit unselected before a routine sweep picks it up regardless of size
+// (see selectShards).
+const maxShardLagEpochs = 4
+
 // sweepCheckInterval is how many quarantining frees a thread performs between
 // sweep-trigger evaluations. The trigger compares four atomic counters plus
 // the space's RSS (§3.2, §4.2) — cheap, but it was a fifth of the seed's
@@ -205,6 +252,14 @@ const sweepCheckInterval = 16
 type threadState struct {
 	tbuf   *quarantine.ThreadBuffer
 	subTid alloc.ThreadID // the substrate's ID for this thread
+	// drainMu serialises ring drains and retirement. The ring is otherwise
+	// owner-thread-only, but the mostly-concurrent sweeper drains every
+	// ring inside its stop-the-world window, and a thread that is not
+	// parked at a safepoint — one exiting through UnregisterThread, or any
+	// thread when no World is attached — could drain or retire the same
+	// buffer concurrently. Uncontended in every fast path (the owner takes
+	// it only at its amortised drain tick, the sweeper once per sweep).
+	drainMu sync.Mutex
 	// freesSinceCheck counts quarantining frees since the last
 	// sweep-trigger evaluation. Owner-thread only, like tbuf.
 	freesSinceCheck int
@@ -220,6 +275,14 @@ type threadState struct {
 	telFrees   uint64
 }
 
+// lockedDrain publishes the ring to the global quarantine under the drain
+// lock; every Drain call site uses it (see drainMu).
+func (ts *threadState) lockedDrain() {
+	ts.drainMu.Lock()
+	ts.tbuf.Drain()
+	ts.drainMu.Unlock()
+}
+
 // Heap is the MineSweeper-protected heap: alloc.Allocator over a jemalloc
 // substrate.
 type Heap struct {
@@ -232,8 +295,12 @@ type Heap struct {
 	// skip those pages via residency; the bitmap exists for accounting
 	// and for restoring protections on commit.
 	unmappedPages *shadow.Bitmap
-	q             *quarantine.Quarantine
-	sw            *sweep.Sweeper
+	// q is created at attach time so its pending-shard count can mirror
+	// the substrate's arena shards (per-shard sweep ownership); qSharded
+	// gates the per-free shard-stamping assertion.
+	q        *quarantine.Quarantine
+	qSharded bool
+	sw       *sweep.Sweeper
 	// ctl is the adaptive control plane (nil = ungoverned). Written once at
 	// construction; its knobs are read through one atomic load on the
 	// amortised trigger/pause paths and at sweep boundaries.
@@ -251,6 +318,10 @@ type Heap struct {
 	genCond     *sync.Cond
 	sweepGen    uint64
 	recycleTids []alloc.ThreadID // one registered jemalloc thread per sweep worker
+	// Scratch for per-shard sweep selection, reused across sweeps.
+	// Owned by the sweep (guarded by sweepMu).
+	shardStats []quarantine.ShardPending
+	shardSel   []bool
 
 	// Statistics.
 	sweeps          atomic.Uint64
@@ -311,7 +382,6 @@ func newHeap(space *mem.AddressSpace, cfg Config) (*Heap, error) {
 		space:         space,
 		marks:         marks,
 		unmappedPages: unmapped,
-		q:             quarantine.New(),
 		ctl:           cfg.Control,
 		sweepReq:      make(chan struct{}, 1),
 		stop:          make(chan struct{}),
@@ -326,6 +396,19 @@ func (h *Heap) attach(sub alloc.Substrate) *Heap {
 	space := h.space
 	marks := h.marks
 	h.sub = sub
+
+	// Per-arena-shard sweep ownership (the quarantine side): mirror the
+	// substrate's arena shard count in the quarantine's pending shards so
+	// each arena's frees can be locked in — and hence swept — on that
+	// shard's own cadence (selectShards). Substrates without arena shards
+	// get the single-shard quarantine, which behaves exactly as before.
+	nshards := 1
+	if na, ok := sub.(interface{ NumArenas() int }); ok && na.NumArenas() > 1 {
+		nshards = na.NumArenas()
+	}
+	h.q = quarantine.NewSharded(nshards)
+	h.qSharded = nshards > 1
+
 	h.sw = sweep.New(space, marks, cfg.Helpers)
 
 	// Register one substrate thread per sweep worker so the parallel
@@ -484,10 +567,11 @@ func (h *Heap) knobs() control.Knobs {
 		return h.ctl.Knobs()
 	}
 	return control.Knobs{
-		SweepThreshold: h.cfg.SweepThreshold,
-		UnmappedFactor: h.cfg.UnmappedFactor,
-		PauseThreshold: h.cfg.PauseThreshold,
-		Helpers:        h.cfg.Helpers,
+		SweepThreshold:    h.cfg.SweepThreshold,
+		UnmappedFactor:    h.cfg.UnmappedFactor,
+		PauseThreshold:    h.cfg.PauseThreshold,
+		Helpers:           h.cfg.Helpers,
+		RescanBudgetPages: h.cfg.RescanBudgetPages,
 	}
 }
 
@@ -528,7 +612,9 @@ func (h *Heap) UnregisterThread(tid alloc.ThreadID) {
 	if ts == nil {
 		return
 	}
+	ts.drainMu.Lock()
 	ts.tbuf.Retire()
+	ts.drainMu.Unlock()
 	h.sub.UnregisterThread(ts.subTid)
 	h.threadMu.Lock()
 	defer h.threadMu.Unlock()
@@ -652,7 +738,7 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		// sweep to finish. While waiting, the thread is quiescent: it
 		// must not block a mostly-concurrent stop-the-world.
 		if ts := h.threadState(tid); ts != nil {
-			ts.tbuf.Drain()
+			ts.lockedDrain()
 		}
 		start := time.Now()
 		qz, _ := h.cfg.World.(quiescer)
@@ -754,6 +840,7 @@ func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 			e = h.q.NewEntry(a.Base, a.Size)
 		}
 		e.Ref = ref
+		h.stampShard(e, ref)
 		if !h.q.Insert(e) {
 			return h.doubleFree(addr)
 		}
@@ -777,6 +864,7 @@ func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 
 	e := ts.tbuf.NewEntry(a.Base, a.Size) // lock-free in the common case
 	e.Ref = ref
+	h.stampShard(e, ref)
 
 	// Large allocations that will be unmapped need no explicit zeroing: the
 	// decommit discards their contents (and any pointers within). A double
@@ -819,11 +907,25 @@ func (h *Heap) free(tid alloc.ThreadID, ts *threadState, addr uint64) error {
 func (h *Heap) drainRing(ts *threadState) {
 	if hist := h.drainHist.Load(); hist != nil {
 		start := time.Now()
-		ts.tbuf.Drain()
+		ts.lockedDrain()
 		hist.Record(uint64(time.Since(start)))
 		return
 	}
-	ts.tbuf.Drain()
+	ts.lockedDrain()
+}
+
+// stampShard routes a new quarantine entry to the pending shard of the arena
+// that owns its allocation, so per-shard sweep selection sees each arena's
+// frees on that arena's own list. The assertion is on the substrate's
+// resolved ref (a *jemalloc.Extent under the default pairing); refs without
+// an arena shard stay on shard 0. Skipped entirely on unsharded quarantines.
+func (h *Heap) stampShard(e *quarantine.Entry, ref alloc.Ref) {
+	if !h.qSharded {
+		return
+	}
+	if s, ok := ref.(interface{ ArenaShard() int32 }); ok {
+		e.Shard = s.ArenaShard()
+	}
 }
 
 // doubleFree accounts an absorbed double free, or reports it in debug mode.
@@ -871,7 +973,7 @@ func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
 		// The sweep runs inline right now: our buffered frees must be in
 		// the global list to be swept.
 		if ts := h.threadState(tid); ts != nil {
-			ts.tbuf.Drain()
+			ts.lockedDrain()
 		}
 		h.runSweep()
 		return
@@ -906,17 +1008,228 @@ func (h *Heap) sweeperLoop() {
 	}
 }
 
-// runSweep performs one complete sweep: lock-in, mark, optional STW re-scan,
-// filter-and-recycle, shadow clear, purge (§3.1, §4). With telemetry
-// attached it emits one SweepRecord — trigger cause, per-phase durations and
-// work figures — per sweep that had anything to do.
+// selectShards decides which quarantine pending shards this sweep locks in —
+// per-arena-shard sweep ownership. The routine threshold and unmapped
+// triggers take only the shards that have accumulated at least their fair
+// share of the pending bytes (the largest shard always qualifies, so a
+// trigger never selects nothing), plus any shard whose oldest pending free
+// has lagged maxShardLagEpochs behind the sweep epoch — each arena shard
+// effectively sweeps on its own cadence instead of rendezvousing globally.
+// Forced, pause, budget and shutdown sweeps take everything: they exist to
+// reclaim as much as possible right now. A nil return means all shards.
+//
+// Partial lock-in is safe regardless of the selection: the mark pass always
+// covers all of program memory, so an entry released from a selected shard
+// was proven unreferenced against every live pointer; entries left pending in
+// unselected shards keep their original epoch and are reconsidered next sweep
+// (the lag bound and the age gauge both build on that). Caller holds sweepMu.
+func (h *Heap) selectShards(reason telemetry.TriggerReason) []bool {
+	n := h.q.NumShards()
+	if n <= 1 {
+		return nil
+	}
+	switch reason {
+	case telemetry.TriggerThreshold, telemetry.TriggerUnmapped:
+	default:
+		return nil
+	}
+	h.shardStats = h.q.PendingShardStats(h.shardStats)
+	var total, maxBytes uint64
+	maxIdx := 0
+	for i, s := range h.shardStats {
+		total += s.Bytes
+		if s.Bytes > maxBytes {
+			maxIdx, maxBytes = i, s.Bytes
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if cap(h.shardSel) < n {
+		h.shardSel = make([]bool, n)
+	}
+	sel := h.shardSel[:n]
+	epoch := h.q.Epoch()
+	for i, s := range h.shardStats {
+		sel[i] = i == maxIdx ||
+			s.Bytes*uint64(n) >= total ||
+			(s.Entries > 0 && epoch-s.OldestEpoch >= maxShardLagEpochs)
+	}
+	return sel
+}
+
+// countShards reports how many shards a selection covers (nil = all n).
+func countShards(sel []bool, n int) int {
+	if sel == nil {
+		return n
+	}
+	c := 0
+	for _, s := range sel {
+		if s {
+			c++
+		}
+	}
+	return c
+}
+
+// stopWorld stops mutator threads (when a World is attached) and quiesces the
+// per-thread quarantine rings: with every mutator parked at a safepoint the
+// sweeper drains the rings itself, so frees buffered right up to the pause
+// are published for the next lock-in and no ring ages across the window.
+// Without a World the re-scan runs without stopping anyone (tests) and the
+// rings are left to their owners.
+func (h *Heap) stopWorld() {
+	if h.cfg.World == nil {
+		return
+	}
+	h.cfg.World.Stop()
+	for _, ts := range *h.threads.Load() {
+		if ts != nil {
+			ts.lockedDrain()
+		}
+	}
+}
+
+// startWorld resumes mutators after stopWorld.
+func (h *Heap) startWorld() {
+	if h.cfg.World != nil {
+		h.cfg.World.Start()
+	}
+}
+
+// recordStw accounts one stop-the-world window: the running total behind
+// Stats.STWCycles, the sweep record's window duration (summed — a pause-abort
+// retry gives a sweep several windows), and — the gate metric for the
+// sub-millisecond pause bound — the exact (unsampled) stw histogram, which
+// gets one entry per window.
+func (h *Heap) recordStw(rec *telemetry.SweepRecord, tel *telemetry.Registry, d time.Duration) {
+	h.stwNanos.Add(int64(d))
+	rec.DirtyNanos += int64(d)
+	if tel != nil {
+		tel.Stw.Record(uint64(d))
+	}
+}
+
+// markPhase runs the configured marking pipeline for one sweep, filling the
+// mark-related fields of rec. Caller holds sweepMu.
+//
+// The MostlyConcurrent + ConcurrentMark pipeline (§4.3):
+//
+//  1. Snapshot-at-beginning: the lock-in that produced this sweep's work
+//     list already happened, and ClearSoftDirty opens the write-tracking
+//     window — every page mutators touch from here on is revisited, so a
+//     pointer stored anywhere during the concurrent pass cannot be missed.
+//  2. Concurrent mark: the full-heap pass runs with mutators live.
+//  3. Concurrent pre-clean: while more pages are dirty than the re-scan
+//     budget, consume dirty pages without stopping (test-and-clear, bounded
+//     rounds); each round shrinks the set the pause must visit.
+//  4. Stop-the-world re-scan: quiesce thread rings and visit only the pages
+//     still dirty. The pause scales with the mutators' residual write rate,
+//     not heap size.
+func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
+	if h.cfg.Mode != MostlyConcurrent {
+		ps := h.sw.MarkAllStats()
+		rec.MarkNanos = ps.ElapsedNanos
+		rec.PagesScanned = ps.PagesScanned
+		rec.BytesScanned = ps.BytesScanned
+		rec.BytesZeroSkipped = ps.ZeroSkippedBytes
+		return
+	}
+	if !h.cfg.ConcurrentMark {
+		// Ablation: the entire mark inside the stop-the-world window — the
+		// configuration whose pause grows with heap size, kept for the
+		// same-window A/B against the pipelined path.
+		start := time.Now()
+		h.stopWorld()
+		ps := h.sw.MarkAllStats()
+		rec.MarkNanos = ps.ElapsedNanos
+		rec.PagesScanned = ps.PagesScanned
+		rec.BytesScanned = ps.BytesScanned
+		rec.BytesZeroSkipped = ps.ZeroSkippedBytes
+		h.startWorld()
+		h.recordStw(rec, tel, time.Since(start))
+		return
+	}
+	h.space.ClearSoftDirty()
+	ps := h.sw.MarkAllStats()
+	rec.MarkNanos = ps.ElapsedNanos
+	rec.PagesScanned = ps.PagesScanned
+	rec.BytesScanned = ps.BytesScanned
+	rec.BytesZeroSkipped = ps.ZeroSkippedBytes
+	h.finishPipelinedMark(rec, tel)
+}
+
+// finishPipelinedMark runs stages 3 and 4 of the pipeline — the concurrent
+// pre-clean rounds and the stop-the-world dirty re-scan — against whatever
+// pages are soft-dirty right now. Split from markPhase so the pre-clean and
+// re-scan accounting can be driven deterministically in tests (markPhase's
+// ClearSoftDirty would wipe any dirtiness a test set up). Caller holds
+// sweepMu.
+//
+// The stop is guarded by a retry loop (the CMS-style pause abort): mutators
+// can dirty an unbounded number of pages in the scheduling gap between the
+// last concurrent pre-clean round and the stop landing, and scanning that
+// backlog inside the pause would put the tail right back at the mercy of the
+// write rate times scheduler latency. So once the world is stopped the frozen
+// dirty count — an O(pages/64) summary popcount — is checked against the
+// budget; if it is over and retries remain, the world restarts immediately
+// and the backlog is consumed concurrently before the next attempt. Each
+// aborted window was still a real pause for the mutators, so it is recorded
+// in the stw histogram like any other. The final attempt scans
+// unconditionally, keeping termination guaranteed.
+func (h *Heap) finishPipelinedMark(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
+	budget := h.knobs().RescanBudgetPages
+	if budget > 0 {
+		t0 := time.Now()
+		for round := 0; round < maxPreCleanRounds; round++ {
+			if h.sw.CountDirtyPages() <= uint64(budget) {
+				break
+			}
+			cp := h.sw.MarkDirtyClearStats()
+			rec.PrecleanPages += cp.PagesScanned
+			rec.PagesScanned += cp.PagesScanned
+			rec.BytesScanned += cp.BytesScanned
+			rec.BytesZeroSkipped += cp.ZeroSkippedBytes
+		}
+		rec.PrecleanNanos = time.Since(t0).Nanoseconds()
+	}
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		h.stopWorld()
+		if budget > 0 && attempt < maxStopRetries && h.sw.CountDirtyPages() > uint64(budget) {
+			h.startWorld()
+			h.recordStw(rec, tel, time.Since(start))
+			cp := h.sw.MarkDirtyClearStats()
+			rec.PrecleanPages += cp.PagesScanned
+			rec.PagesScanned += cp.PagesScanned
+			rec.BytesScanned += cp.BytesScanned
+			rec.BytesZeroSkipped += cp.ZeroSkippedBytes
+			continue
+		}
+		dp := h.sw.MarkDirtyStats()
+		rec.DirtyPages = dp.PagesScanned
+		rec.PagesScanned += dp.PagesScanned
+		rec.BytesScanned += dp.BytesScanned
+		rec.BytesZeroSkipped += dp.ZeroSkippedBytes
+		h.startWorld()
+		h.recordStw(rec, tel, time.Since(start))
+		return
+	}
+}
+
+// runSweep performs one complete sweep: shard selection, lock-in, mark
+// (pipelined in MostlyConcurrent mode — see markPhase), filter-and-recycle,
+// shadow clear, purge (§3.1, §4). With telemetry attached it emits one
+// SweepRecord — trigger cause, per-phase durations and work figures — per
+// sweep that had anything to do.
 func (h *Heap) runSweep() {
 	h.sweepMu.Lock()
 	defer h.sweepMu.Unlock()
 
 	tel := h.tel.Load()
 	reason := h.takeTrigger()
-	locked := h.q.LockIn()
+	sel := h.selectShards(reason)
+	locked := h.q.LockInSelected(sel)
 	var obsNanos int64
 	var obsReleased, obsRetained uint64
 	if len(locked) > 0 {
@@ -924,36 +1237,14 @@ func (h *Heap) runSweep() {
 			Trigger:       reason,
 			EntriesLocked: uint64(len(locked)),
 			Workers:       h.sw.Workers(),
+			ShardsSwept:   countShards(sel, h.q.NumShards()),
 		}
 		var sweepStart, t0 time.Time
 		if tel != nil || h.ctl != nil {
 			sweepStart = time.Now()
 		}
 		if h.cfg.Sweeping {
-			if h.cfg.Mode == MostlyConcurrent {
-				h.space.ClearSoftDirty()
-			}
-			ps := h.sw.MarkAllStats()
-			rec.MarkNanos = ps.ElapsedNanos
-			rec.PagesScanned = ps.PagesScanned
-			rec.BytesScanned = ps.BytesScanned
-			rec.BytesZeroSkipped = ps.ZeroSkippedBytes
-			if h.cfg.Mode == MostlyConcurrent {
-				start := time.Now()
-				if h.cfg.World != nil {
-					h.cfg.World.Stop()
-				}
-				dp := h.sw.MarkDirtyStats()
-				rec.PagesScanned += dp.PagesScanned
-				rec.BytesScanned += dp.BytesScanned
-				rec.BytesZeroSkipped += dp.ZeroSkippedBytes
-				if h.cfg.World != nil {
-					h.cfg.World.Start()
-				}
-				stw := time.Since(start)
-				h.stwNanos.Add(int64(stw))
-				rec.DirtyNanos = int64(stw)
-			}
+			h.markPhase(&rec, tel)
 		}
 		if tel != nil {
 			t0 = time.Now()
@@ -1157,7 +1448,7 @@ func (h *Heap) Sweep() { h.runSweep() }
 // FlushThread publishes tid's buffered frees to the global quarantine.
 func (h *Heap) FlushThread(tid alloc.ThreadID) {
 	if ts := h.threadState(tid); ts != nil {
-		ts.tbuf.Drain()
+		ts.lockedDrain()
 	}
 }
 
@@ -1204,7 +1495,7 @@ func (h *Heap) Stats() alloc.Stats {
 func (h *Heap) Shutdown() {
 	for _, ts := range *h.threads.Load() {
 		if ts != nil {
-			ts.tbuf.Drain()
+			ts.lockedDrain()
 		}
 	}
 	if h.cfg.Mode != Synchronous {

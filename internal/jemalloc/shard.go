@@ -1,0 +1,8 @@
+package jemalloc
+
+// ArenaShard returns the index of the arena shard that owns the extent. The
+// field is immutable after creation (extents never migrate between shards),
+// so the accessor is safe from any thread without synchronisation. The core
+// layer stamps it into quarantine entries so each arena shard's frees can be
+// locked in — and hence swept — on the shard's own cadence.
+func (e *Extent) ArenaShard() int32 { return e.shard }

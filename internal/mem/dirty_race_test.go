@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestClearPageDirtyBasics covers the test-and-clear primitive: it reports
+// the prior state and leaves the bit clear without disturbing residency or
+// protection.
+func TestClearPageDirtyBasics(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(KindHeap, 2*PageSize, true)
+	as.ClearSoftDirty()
+	if r.TestClearPageDirty(0) {
+		t.Fatal("TestClearPageDirty reported a clean page as dirty")
+	}
+	if err := as.Store64(r.Base()+8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !r.TestClearPageDirty(0) {
+		t.Fatal("TestClearPageDirty missed a dirty page")
+	}
+	if r.PageDirty(0) {
+		t.Fatal("page still dirty after TestClearPageDirty")
+	}
+	if r.TestClearPageDirty(0) {
+		t.Fatal("second TestClearPageDirty reported dirty")
+	}
+	if !r.PageReadable(0) {
+		t.Fatal("TestClearPageDirty disturbed page residency/protection")
+	}
+	if v, err := as.Load64(r.Base() + 8); err != nil || v != 7 {
+		t.Fatalf("Load64 = %d, %v; want 7", v, err)
+	}
+}
+
+// TestDirtySetVsClearOrdering is the oracle for the store() ordering contract:
+// a writer bumps a counter word (always through Store64, which sets the dirty
+// bit after the word store) while a sweeper repeatedly test-and-clears the
+// page's dirty bit and records the counter value it scans. The invariant: at
+// any moment the sweeper finds the page CLEAN, every prior store is visible —
+// so the value observed on the most recent dirty scan, plus any clean-state
+// read, can never lag a value that a later dirty flag would have republished.
+// Concretely: after the writer finishes, one final test-and-clear plus scan
+// must observe the final counter value.
+//
+// With the dirty bit set before the word store (the bug this test pins), the
+// interleaving Or(dirty) < clear < scan < store leaves the page clean while
+// the scan missed the newest value — the final check fails. Run under -race
+// via `make race-hot` this also proves the primitives are data-race-free.
+func TestDirtySetVsClearOrdering(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.Map(KindHeap, PageSize, true)
+	addr := r.Base()
+	as.ClearSoftDirty()
+
+	const writes = 200_000
+	var wg sync.WaitGroup
+	var writerDone atomic.Bool
+	var scanned atomic.Uint64 // max counter value observed after a dirty flag
+
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= writes; i++ {
+			if err := r.Store64(addr, i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		writerDone.Store(true)
+	}()
+	go func() {
+		defer wg.Done()
+		for !writerDone.Load() {
+			if r.TestClearPageDirty(0) {
+				// Dirty consumed: the contract says a scan now sees
+				// every store that set it.
+				v, err := r.Load64(addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if prev := scanned.Load(); v < prev {
+					t.Errorf("scan went backwards: %d after %d", v, prev)
+					return
+				}
+				scanned.Store(v)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Final round: if the page is clean, every store is already visible; if
+	// dirty, one more scan must surface the final value. Either way the
+	// "scan after consuming the dirty bit" view reaches the last write.
+	if r.TestClearPageDirty(0) {
+		v, _ := r.Load64(addr)
+		scanned.Store(v)
+	}
+	if got := scanned.Load(); got != writes {
+		t.Fatalf("after clean page, newest scanned value = %d, want %d (lost write: dirty bit cleared without the scan observing the store)", got, writes)
+	}
+}
+
+// TestClearSoftDirtyConcurrentWriters stresses whole-space ClearSoftDirty
+// against many writers under -race: after all writers finish and one final
+// clear+scan round runs, pages must be clean and hold their final values.
+func TestClearSoftDirtyConcurrentWriters(t *testing.T) {
+	as := NewAddressSpace()
+	const pages = 8
+	r, _ := as.Map(KindHeap, pages*PageSize, true)
+	as.ClearSoftDirty()
+
+	const perPage = 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	clearerDone := make(chan struct{})
+	wg.Add(pages)
+	for p := 0; p < pages; p++ {
+		go func(p int) {
+			defer wg.Done()
+			addr := r.PageAddr(p)
+			for i := uint64(1); i <= perPage; i++ {
+				if err := r.Store64(addr, i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		defer close(clearerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				as.ClearSoftDirty()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-clearerDone
+
+	for p := 0; p < pages; p++ {
+		r.TestClearPageDirty(p)
+		if v, err := r.Load64(r.PageAddr(p)); err != nil || v != perPage {
+			t.Fatalf("page %d final value = %d, %v; want %d", p, v, err, perPage)
+		}
+		if r.PageDirty(p) {
+			t.Fatalf("page %d dirty after final clear with no writers", p)
+		}
+	}
+}

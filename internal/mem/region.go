@@ -50,6 +50,24 @@ type Region struct {
 	resident atomic.Int32    // number of resident pages
 	pages    []atomic.Uint32 // per-page state bits
 
+	// dirtySum is a conservative one-bit-per-page summary of the soft-dirty
+	// state (bit i%64 of word i/64 covers page i). store() sets a page's
+	// summary bit right after its dirty bit, so a set dirty bit always has a
+	// set summary bit once the writer's operation completes; the reverse does
+	// not hold — bulk state rewrites (commit, decommit, protect) and
+	// TestClearPageDirty leave stale summary bits behind, which readers
+	// tolerate by re-checking the per-page bit. The summary is what lets the
+	// pipelined sweep's dirty passes and page counts run in O(pages/64) +
+	// O(dirty) instead of walking every page's state word — the stop-the-world
+	// re-scan must scale with the mutators' write rate, not heap size.
+	dirtySum []atomic.Uint64
+
+	// dirtyListed records that the region is on the space's dirtied-region
+	// list for the current soft-dirty window, so the first store to dirty a
+	// region lists it exactly once. Cleared (before the summary and page
+	// bits) by clearSoftDirty when the window closes.
+	dirtyListed atomic.Bool
+
 	// Aliases: an alias region exposes a window of another region's
 	// physical backing under its own virtual addresses and protections —
 	// the mremap-style virtual aliasing Oscar builds on (paper §6.3).
@@ -201,6 +219,27 @@ func (r *Region) load(addr uint64) (uint64, error) {
 
 // store atomically stores v at addr after checking protections, setting the
 // page's soft-dirty bit.
+//
+// Ordering contract (the concurrent sweeper depends on it): the dirty bit is
+// set AFTER the word store. A sweeper that clears the bit (clearSoftDirty,
+// TestClearPageDirty) and then scans the page is guaranteed to observe every
+// store whose dirty-set it consumed: for a store to be missed, the writer's
+// Or(dirty) would have to precede the sweeper's clear while the word store
+// followed the sweeper's scan — impossible, since the store precedes the Or
+// in the writer's program order (both are sequentially consistent atomics).
+// Setting the bit first (as this code originally did) loses exactly that
+// interleaving: Or < Clear < Scan < Store leaves the page clean with an
+// unscanned word. TestDirtySetVsClearOrdering holds this contract under
+// -race.
+//
+// The dirty check must use the page state as of AFTER the word store, not the
+// protection-check load from before it: a cleaner may consume the dirty bit
+// between that stale load and the store, and skipping the set on stale
+// evidence would leave this store both unflagged and unscanned. Re-loading
+// closes the window: either the fresh load still sees the bit set — then the
+// next consumer's clear-then-scan happens after this store and observes it —
+// or it sees the bit clear and this writer re-flags the page (and its summary
+// word) itself.
 func (r *Region) store(addr, v uint64) error {
 	if !WordAligned(addr) {
 		return &Fault{Addr: addr, Write: true, Cause: CauseMisaligned}
@@ -213,14 +252,33 @@ func (r *Region) store(addr, v uint64) error {
 	if s&pageWrite == 0 {
 		return &Fault{Addr: addr, Write: true, Cause: CauseProtection}
 	}
-	if s&pageDirty == 0 {
-		r.pages[pi].Or(pageDirty)
-	}
 	w := r.wordSlice()
 	if w == nil {
 		return &Fault{Addr: addr, Write: true, Cause: CauseNotResident}
 	}
 	atomic.StoreUint64(&w[(addr-r.base)>>3], v)
+	for {
+		old := r.pages[pi].Load()
+		if old&pageDirty != 0 {
+			// Already flagged: whoever clears this bit scans the page after
+			// the clear, and the clear comes after this load, which comes
+			// after our word store — so the scan observes it.
+			break
+		}
+		if r.pages[pi].CompareAndSwap(old, old|pageDirty) {
+			// Exactly one writer wins the clean→dirty transition (CAS, not
+			// Or), keeping the space's dirty-page count exact. The summary
+			// bit and the region listing follow the page bit, so a consumer
+			// that took them sees the page bit set (or the page was already
+			// consumed by an earlier pass that scanned our store).
+			r.space.dirtyPages.Add(1)
+			r.dirtySum[pi>>6].Or(1 << uint(pi&63))
+			if !r.dirtyListed.Load() && r.dirtyListed.CompareAndSwap(false, true) {
+				r.space.addDirtyRegion(r)
+			}
+			break
+		}
+	}
 	return nil
 }
 
@@ -336,6 +394,7 @@ func (r *Region) commit(addr, n uint64, prot Prot) int {
 	first := r.pageIndexOf(addr)
 	last := r.pageIndexOf(addr + n - 1)
 	newly := 0
+	var wipedDirty int64
 	bits := pageResident | protBits(prot)
 	for i := first; i <= last; i++ {
 		var old uint32
@@ -345,12 +404,18 @@ func (r *Region) commit(addr, n uint64, prot Prot) int {
 				break
 			}
 		}
+		if old&pageDirty != 0 {
+			wipedDirty++
+		}
 		if old&pageResident == 0 {
 			newly++
 			if r.parent == nil {
 				r.zeroRange(r.PageAddr(i), PageSize)
 			}
 		}
+	}
+	if wipedDirty != 0 {
+		r.space.dirtyPages.Add(-wipedDirty)
 	}
 	r.resident.Add(int32(newly))
 	return newly
@@ -365,6 +430,7 @@ func (r *Region) decommit(addr, n uint64) int {
 	first := r.pageIndexOf(addr)
 	last := r.pageIndexOf(addr + n - 1)
 	released := 0
+	var wipedDirty int64
 	for i := first; i <= last; i++ {
 		var old uint32
 		for {
@@ -373,9 +439,15 @@ func (r *Region) decommit(addr, n uint64) int {
 				break
 			}
 		}
+		if old&pageDirty != 0 {
+			wipedDirty++
+		}
 		if old&pageResident != 0 {
 			released++
 		}
+	}
+	if wipedDirty != 0 {
+		r.space.dirtyPages.Add(-wipedDirty)
 	}
 	if released > 0 && r.resident.Add(int32(-released)) == 0 && r.parent == nil {
 		if old := r.words.Swap(nil); old != nil {
@@ -402,8 +474,41 @@ func (r *Region) protect(addr, n uint64, prot Prot) {
 	}
 }
 
-// clearSoftDirty clears every page's soft-dirty bit.
+// clearSoftDirty clears every page's soft-dirty bit and the summary bitmap.
+//
+// Interleaving with concurrent writers: store() sets the dirty bit after its
+// word store (see the contract on store), so a writer racing this clear either
+// loses its dirty bit — in which case its word store already happened and the
+// caller's subsequent scan of the page observes it — or re-dirties the page
+// after the clear, and the next dirty pass picks it up. Either way no store
+// is both unscanned and unflagged.
+//
+// The summary words are zeroed BEFORE the per-page bits. A writer sets the
+// page bit first and the summary bit second, so a page bit that survives (or
+// is set after) our per-page clears was set after the summary wipe — and the
+// writer's later summary Or necessarily lands after it too, keeping the
+// invariant that a dirty page's summary bit is set once its writer completes.
+// Clearing in the opposite order loses exactly the interleaving where the
+// writer's page-set lands after our page clear but its summary Or before our
+// summary wipe, leaving a dirty page invisible to the summary readers.
+//
+// Note the page-state rewrites in commit and decommit also wipe the dirty bit
+// (and decrement the space's dirty-page count). That is correct for the
+// sweeper's purposes: commit zero-fills (nothing to scan) and decommit drops
+// the page (reads as zero). The summary bit those wipes strand is harmless:
+// summary readers re-check the per-page bit.
+//
+// The listed flag is cleared before anything else: a writer checks it AFTER
+// setting its page and summary bits, so a writer that skips re-listing on a
+// still-set flag dirtied its page before our per-page clears below — its
+// store is covered by the caller's full scan — while one that sees the flag
+// already cleared re-lists the region for the new window.
 func (r *Region) clearSoftDirty() {
+	r.dirtyListed.Store(false)
+	for i := range r.dirtySum {
+		r.dirtySum[i].Store(0)
+	}
+	var cleared int64
 	for i := range r.pages {
 		for {
 			old := r.pages[i].Load()
@@ -411,8 +516,52 @@ func (r *Region) clearSoftDirty() {
 				break
 			}
 			if r.pages[i].CompareAndSwap(old, old&^pageDirty) {
+				cleared++
 				break
 			}
+		}
+	}
+	if cleared != 0 {
+		r.space.dirtyPages.Add(-cleared)
+	}
+}
+
+// DirtySummaryWords returns the length of the dirty summary bitmap: one
+// uint64 per 64 pages, rounded up.
+func (r *Region) DirtySummaryWords() int { return len(r.dirtySum) }
+
+// DirtySummaryWord loads summary word w — a conservative view: a set bit
+// means the page MAY be dirty (re-check PageDirty), a clear bit means no
+// completed store has dirtied it since the word was last cleared.
+func (r *Region) DirtySummaryWord(w int) uint64 { return r.dirtySum[w].Load() }
+
+// TakeDirtySummaryWord atomically takes summary word w, clearing it — the
+// word-granular test-and-clear behind the concurrent pre-clean rounds. The
+// caller must TestClearPageDirty-and-scan every page whose bit it took:
+// writers set the page bit before the summary bit, so a page dirtied
+// concurrently either had its bit taken here (and is consumed by the caller's
+// per-page test-and-clear) or re-sets the summary word after this take and is
+// picked up by the next dirty pass.
+func (r *Region) TakeDirtySummaryWord(w int) uint64 { return r.dirtySum[w].Swap(0) }
+
+// TestClearPageDirty atomically clears page i's soft-dirty bit and reports
+// whether it was set — the test-and-clear primitive behind the concurrent
+// pre-clean rounds of the pipelined sweep. The caller must scan the page
+// after a true return; the store() ordering contract then guarantees every
+// write whose dirty-set this consumed is observed by that scan.
+//
+// Implemented as a CAS loop rather than atomic.Uint32.And: the And intrinsic
+// is miscompiled on this toolchain (go1.24.0) when its returned old value is
+// consumed, corrupting live registers in the inlined caller.
+func (r *Region) TestClearPageDirty(i int) bool {
+	for {
+		old := r.pages[i].Load()
+		if old&pageDirty == 0 {
+			return false
+		}
+		if r.pages[i].CompareAndSwap(old, old&^pageDirty) {
+			r.space.dirtyPages.Add(-1)
+			return true
 		}
 	}
 }

@@ -76,6 +76,19 @@ type AddressSpace struct {
 	mapped atomic.Int64 // mapped bytes
 	faults atomic.Uint64
 
+	// Dirty tracking for the pipelined sweep: dirtyPages counts pages whose
+	// soft-dirty bit is currently set (every set/clear transition adjusts
+	// it), and dirtyRegs lists each region dirtied since the last
+	// ClearSoftDirty, appended once per region per window by the store that
+	// first dirties it. Together they give the sweep an O(1) budget check
+	// and O(dirtied-regions) dirty passes — crucial inside a stop-the-world
+	// window, where walking an extent-granular region set that can reach
+	// tens of thousands of entries would put the pause back on an O(heap)
+	// slope.
+	dirtyPages atomic.Int64
+	dirtyMu    sync.Mutex
+	dirtyRegs  []*Region
+
 	// backing pools recycle word-slice backings by size so that extent
 	// commit/decommit cycles (quarantine unmapping, purging) do not churn
 	// the host garbage collector — the real system's counterpart is the
@@ -234,11 +247,12 @@ func (as *AddressSpace) Map(kind Kind, size uint64, committed bool) (*Region, er
 	}
 
 	r := &Region{
-		space: as,
-		base:  base,
-		size:  size,
-		kind:  kind,
-		pages: make([]atomic.Uint32, size/PageSize),
+		space:    as,
+		base:     base,
+		size:     size,
+		kind:     kind,
+		pages:    make([]atomic.Uint32, size/PageSize),
+		dirtySum: make([]atomic.Uint64, (size/PageSize+63)/64),
 	}
 	if committed {
 		r.ensureBacking()
@@ -375,6 +389,7 @@ func (as *AddressSpace) MapAlias(parent *Region, offset, size uint64) (*Region, 
 		size:      size,
 		kind:      KindHeap,
 		pages:     make([]atomic.Uint32, size/PageSize),
+		dirtySum:  make([]atomic.Uint64, (size/PageSize+63)/64),
 		parent:    parent,
 		parentOff: offset,
 	}
@@ -439,11 +454,53 @@ func (as *AddressSpace) Zero(addr, n uint64) error {
 
 // ClearSoftDirty clears the soft-dirty bit on every page of every region, the
 // analogue of writing "4" to /proc/pid/clear_refs before a mostly-concurrent
-// sweep.
+// sweep. Only regions on the dirtied list need visiting: a dirty bit is set
+// exclusively by store(), which lists the region before completing, so after
+// a ClearSoftDirty the only dirty pages anywhere belong to racing writers —
+// who are re-listing their regions for the next window. The taken list's
+// backing is surrendered (not recycled): concurrent writers append to a
+// fresh list while this one is still being walked.
 func (as *AddressSpace) ClearSoftDirty() {
-	for _, r := range as.regions() {
+	as.dirtyMu.Lock()
+	regs := as.dirtyRegs
+	as.dirtyRegs = nil
+	as.dirtyMu.Unlock()
+	for _, r := range regs {
 		r.clearSoftDirty()
 	}
+}
+
+// addDirtyRegion records the first dirtying of r since the last
+// ClearSoftDirty. Called once per region per dirty window (store's
+// region-listed flag gates it), so the mutex is uncontended in steady state.
+func (as *AddressSpace) addDirtyRegion(r *Region) {
+	as.dirtyMu.Lock()
+	as.dirtyRegs = append(as.dirtyRegs, r)
+	as.dirtyMu.Unlock()
+}
+
+// DirtyPageCount returns the number of pages whose soft-dirty bit is set,
+// maintained exactly by the set/clear transitions. O(1) — safe to call with
+// the world stopped.
+func (as *AddressSpace) DirtyPageCount() uint64 {
+	if n := as.dirtyPages.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
+}
+
+// DirtyRegions overwrites dst with the regions dirtied since the last
+// ClearSoftDirty and returns it, growing it as needed. The result is a
+// snapshot: regions dirtied for the first time during a concurrent caller's
+// iteration are missing from it (their pages stay flagged for the next
+// pass), and listed regions may since have been cleaned or unmapped —
+// readers re-check per-page state, which stays the source of truth.
+func (as *AddressSpace) DirtyRegions(dst []*Region) []*Region {
+	dst = dst[:0]
+	as.dirtyMu.Lock()
+	dst = append(dst, as.dirtyRegs...)
+	as.dirtyMu.Unlock()
+	return dst
 }
 
 // Regions returns the current region snapshot, sorted by base address. The

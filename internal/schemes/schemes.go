@@ -219,10 +219,11 @@ func Governed(name string, cfg core.Config, budget uint64, policy control.Policy
 		}
 		cfg.Control = control.NewPlane(control.Config{
 			Base: control.Knobs{
-				SweepThreshold: cfg.SweepThreshold,
-				UnmappedFactor: cfg.UnmappedFactor,
-				PauseThreshold: cfg.PauseThreshold,
-				Helpers:        cfg.Helpers,
+				SweepThreshold:    cfg.SweepThreshold,
+				UnmappedFactor:    cfg.UnmappedFactor,
+				PauseThreshold:    cfg.PauseThreshold,
+				Helpers:           cfg.Helpers,
+				RescanBudgetPages: cfg.RescanBudgetPages,
 			},
 			Budget: budget,
 			Policy: policy,

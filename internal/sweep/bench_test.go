@@ -15,7 +15,7 @@ func (s *Sweeper) markAllPerWord() uint64 {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	var scanned uint64
-	for _, c := range s.collectChunks(false) {
+	for _, c := range s.collectChunks(false, false) {
 		r := c.r
 		for p := c.pageFirst; p < c.pageAfter; p++ {
 			if !r.PageReadable(p) {

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"testing"
+
+	"minesweeper/internal/mem"
+)
+
+// TestCountDirtyPages covers the pre-clean budget heuristic's input.
+func TestCountDirtyPages(t *testing.T) {
+	as, _, s := setup(t, 0)
+	heap, _ := as.Map(mem.KindHeap, 8*mem.PageSize, true)
+	as.ClearSoftDirty()
+	if n := s.CountDirtyPages(); n != 0 {
+		t.Fatalf("CountDirtyPages after clear = %d, want 0", n)
+	}
+	for _, p := range []int{1, 3, 6} {
+		if err := as.Store64(heap.PageAddr(p)+8, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.CountDirtyPages(); n != 3 {
+		t.Fatalf("CountDirtyPages = %d, want 3", n)
+	}
+}
+
+// TestMarkDirtyClearConsumesBits: a pre-clean round marks pointers on dirty
+// pages, clears the bits it consumed, and a second round scans nothing.
+func TestMarkDirtyClearConsumesBits(t *testing.T) {
+	as, marks, s := setup(t, 0)
+	heap, _ := as.Map(mem.KindHeap, 4*mem.PageSize, true)
+	target := heap.Base() + 0x40
+	as.ClearSoftDirty()
+
+	if err := as.Store64(heap.PageAddr(2)+16, target); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.MarkDirtyClearStats()
+	if ps.PagesScanned != 1 {
+		t.Fatalf("pre-clean scanned %d pages, want 1 (only the written page is dirty)", ps.PagesScanned)
+	}
+	if !marks.Test(target) {
+		t.Fatal("pre-clean round missed pointer on dirty page")
+	}
+	if n := s.CountDirtyPages(); n != 0 {
+		t.Fatalf("dirty pages after pre-clean = %d, want 0", n)
+	}
+	if ps2 := s.MarkDirtyClearStats(); ps2.PagesScanned != 0 {
+		t.Fatalf("second pre-clean scanned %d pages, want 0", ps2.PagesScanned)
+	}
+	// A fresh write re-dirties the page for the next round.
+	if err := as.Store64(heap.PageAddr(2)+24, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ps3 := s.MarkDirtyClearStats(); ps3.PagesScanned != 1 {
+		t.Fatalf("post-rewrite pre-clean scanned %d pages, want 1", ps3.PagesScanned)
+	}
+}
+
+// TestMarkDirtyLeavesBits: the STW variant filters on the dirty bit without
+// consuming it (the next sweep's ClearSoftDirty resets the cycle).
+func TestMarkDirtyLeavesBits(t *testing.T) {
+	as, _, s := setup(t, 0)
+	heap, _ := as.Map(mem.KindHeap, 4*mem.PageSize, true)
+	as.ClearSoftDirty()
+	if err := as.Store64(heap.PageAddr(1)+8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if ps := s.MarkDirtyStats(); ps.PagesScanned != 1 {
+		t.Fatalf("MarkDirty scanned %d pages, want 1", ps.PagesScanned)
+	}
+	if n := s.CountDirtyPages(); n != 1 {
+		t.Fatalf("dirty pages after MarkDirty = %d, want 1 (bit must survive)", n)
+	}
+}

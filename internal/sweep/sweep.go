@@ -30,6 +30,7 @@
 package sweep
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,9 +68,10 @@ type Sweeper struct {
 	// be reused across sweeps without reallocation. Sweeps are already
 	// serialised by the core layer's sweep lock; this keeps the Sweeper
 	// safe on its own.
-	runMu   sync.Mutex
-	chunks  []chunk  // reusable work queue, valid only during a pass
-	stripes []stripe // reusable per-worker ticket ranges
+	runMu     sync.Mutex
+	chunks    []chunk       // reusable work queue, valid only during a pass
+	stripes   []stripe      // reusable per-worker ticket ranges
+	dirtyRegs []*mem.Region // reusable dirtied-region snapshot (dirty passes)
 
 	bytesSwept  atomic.Uint64
 	pagesSwept  atomic.Uint64
@@ -136,6 +138,11 @@ type chunk struct {
 	pageFirst int
 	pageAfter int
 	dirtyOnly bool
+	// clearDirty makes a dirtyOnly chunk consume the dirty bit as it scans
+	// (TestClearPageDirty) — the concurrent pre-clean rounds of the pipelined
+	// sweep. Pages re-dirtied after the test-and-clear are caught by the
+	// final STW MarkDirty pass.
+	clearDirty bool
 }
 
 // stripe is one worker's contiguous range of the chunk queue. The owner and
@@ -148,11 +155,26 @@ type stripe struct {
 	_    [48]byte
 }
 
-// collectChunks slices all sweepable regions into page chunks, reusing the
-// queue's backing array from the previous pass. Caller holds runMu.
-func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
+// collectChunks slices sweepable regions into page chunks, reusing the
+// queue's backing array from the previous pass. Full passes cover every
+// region. Dirty-only passes iterate just the space's dirtied-region list —
+// never the full region set, whose sorted snapshot can reach tens of
+// thousands of extent-granular entries and is rebuilt on demand, neither of
+// which belongs inside a stop-the-world window — and consult each region's
+// dirty summary bitmap to emit chunks only for page ranges with at least one
+// (possibly stale) summary bit set. This is what keeps the stop-the-world
+// re-scan's cost proportional to the mutators' write rate rather than heap
+// size. Caller holds runMu.
+func (s *Sweeper) collectChunks(dirtyOnly, clearDirty bool) []chunk {
 	chunks := s.chunks[:0]
-	for _, r := range s.space.Regions() {
+	var regs []*mem.Region
+	if dirtyOnly {
+		s.dirtyRegs = s.space.DirtyRegions(s.dirtyRegs)
+		regs = s.dirtyRegs
+	} else {
+		regs = s.space.Regions()
+	}
+	for _, r := range regs {
 		switch r.Kind() {
 		case mem.KindHeap, mem.KindStack, mem.KindGlobals:
 		default:
@@ -164,12 +186,35 @@ func (s *Sweeper) collectChunks(dirtyOnly bool) []chunk {
 			if end > n {
 				end = n
 			}
-			chunks = append(chunks, chunk{r: r, pageFirst: p, pageAfter: end, dirtyOnly: dirtyOnly})
+			if dirtyOnly && !anyDirtySummary(r, p, end) {
+				continue
+			}
+			chunks = append(chunks, chunk{r: r, pageFirst: p, pageAfter: end, dirtyOnly: dirtyOnly, clearDirty: clearDirty})
 		}
 	}
 	s.chunks = chunks
 	return chunks
 }
+
+// anyDirtySummary reports whether any summary word covering pages
+// [first, after) of r is non-zero. Chunks are chunkPages-aligned and
+// chunkPages is a multiple of 64, so summary words never straddle chunks.
+func anyDirtySummary(r *mem.Region, first, after int) bool {
+	for w, wEnd := first>>6, (after+63)>>6; w < wEnd; w++ {
+		if r.DirtySummaryWord(w) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountDirtyPages returns the number of soft-dirty pages across the address
+// space, from the exact transition-maintained counter. The pipelined sweep
+// uses it to decide whether another concurrent pre-clean round is worthwhile
+// and — with the world stopped, where the frozen value is exact — whether the
+// re-scan fits the pause budget or the stop should be aborted and retried.
+// O(1), so both checks are free even inside a pause.
+func (s *Sweeper) CountDirtyPages() uint64 { return s.space.DirtyPageCount() }
 
 // scanPageWords is the sweep's innermost loop: every word of one page,
 // already fetched as a plain slice under the page lock. Words are loaded
@@ -235,19 +280,63 @@ func scanPageWords(words []uint64, mk *shadow.Marker) (zeroWords int) {
 // scanChunk marks pointer targets in one chunk through the worker's marker,
 // returning bytes scanned, pages scanned, and bytes skipped as zero groups.
 func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages int, zeroBytes uint64) {
+	if c.dirtyOnly {
+		return s.scanDirtyChunk(c, mk)
+	}
 	r := c.r
 	var zeroWords int
 	scan := func(words []uint64) { zeroWords += scanPageWords(words, mk) }
 	for p := c.pageFirst; p < c.pageAfter; p++ {
-		if c.dirtyOnly && !r.PageDirty(p) {
-			continue
-		}
 		// The page lock (taken inside ScanPageWords) orders this scan
 		// against bulk zeroing (free, decommit) so the sweeper never reads
 		// half-zeroed memory.
 		if r.ScanPageWords(p, scan) {
 			scanned += mem.PageSize
 			pages++
+		}
+	}
+	return scanned, pages, uint64(zeroWords) * 8
+}
+
+// scanDirtyChunk is scanChunk for dirty-only passes: it walks the chunk's
+// dirty summary words and visits only pages with a set summary bit, so a
+// chunk that survived collectChunks on one stale bit costs a few word loads,
+// not 256 page-state checks. The per-page dirty bit stays the source of
+// truth: a summary bit whose page bit is clear (stranded by a bulk state
+// rewrite or an earlier test-and-clear) is simply skipped. Pre-clean rounds
+// (clearDirty) take each summary word before consuming its page bits — see
+// mem.Region.TakeDirtySummaryWord for why that order loses no writes — so
+// each round also re-tightens the summary for the rounds and the final
+// stop-the-world pass behind it.
+func (s *Sweeper) scanDirtyChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages int, zeroBytes uint64) {
+	r := c.r
+	var zeroWords int
+	scan := func(words []uint64) { zeroWords += scanPageWords(words, mk) }
+	for w, wEnd := c.pageFirst>>6, (c.pageAfter+63)>>6; w < wEnd; w++ {
+		var sum uint64
+		if c.clearDirty {
+			sum = r.TakeDirtySummaryWord(w)
+		} else {
+			sum = r.DirtySummaryWord(w)
+		}
+		for sum != 0 {
+			b := bits.TrailingZeros64(sum)
+			sum &= sum - 1
+			p := w<<6 + b
+			if p >= c.pageAfter {
+				break
+			}
+			if c.clearDirty {
+				if !r.TestClearPageDirty(p) {
+					continue
+				}
+			} else if !r.PageDirty(p) {
+				continue
+			}
+			if r.ScanPageWords(p, scan) {
+				scanned += mem.PageSize
+				pages++
+			}
 		}
 	}
 	return scanned, pages, uint64(zeroWords) * 8
@@ -362,19 +451,33 @@ func (s *Sweeper) MarkAll() uint64 { return s.MarkAllStats().BytesScanned }
 func (s *Sweeper) MarkAllStats() PassStats {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
-	return s.run(s.collectChunks(false))
+	return s.run(s.collectChunks(false, false))
 }
 
 // MarkDirty re-scans only pages whose soft-dirty bit is set. The caller is
 // expected to have cleared soft-dirty bits before MarkAll and stopped the
-// world around this call (mostly-concurrent mode).
+// world around this call (mostly-concurrent mode). Dirty bits are left set;
+// the next sweep's ClearSoftDirty resets them.
 func (s *Sweeper) MarkDirty() uint64 { return s.MarkDirtyStats().BytesScanned }
 
 // MarkDirtyStats is MarkDirty returning the full pass statistics.
 func (s *Sweeper) MarkDirtyStats() PassStats {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
-	return s.run(s.collectChunks(true))
+	return s.run(s.collectChunks(true, false))
+}
+
+// MarkDirtyClearStats scans pages whose soft-dirty bit is set, consuming the
+// bit as it goes — a concurrent pre-clean round. It runs WITHOUT stopping the
+// world: the store() ordering contract in mem guarantees every write whose
+// dirty bit this pass consumed is observed by the scan, and writes landing
+// after the test-and-clear re-dirty their page for the next round or the
+// final STW re-scan. Each round thus shrinks the dirty set the STW window
+// must visit to the pages written during the round itself.
+func (s *Sweeper) MarkDirtyClearStats() PassStats {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	return s.run(s.collectChunks(true, true))
 }
 
 // BytesSwept returns the cumulative bytes scanned across all passes.

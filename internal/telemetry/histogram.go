@@ -64,12 +64,27 @@ func (h *Histogram) RecordShard(hint int, v uint64) {
 
 // HistogramSnapshot is a merged, immutable view of a histogram. Buckets[b]
 // counts values in [2^(b-1), 2^b); Buckets[0] counts zeros.
+//
+// P50/P99/P999 are the pre-extracted tail quantiles (bucket upper bounds, see
+// Quantile) so JSON consumers — msstat, cmd/benchjson's pause gate — read the
+// percentiles directly instead of re-deriving them from the bucket array.
 type HistogramSnapshot struct {
 	Name    string             `json:"name"`
 	Unit    string             `json:"unit"`
 	Count   uint64             `json:"count"`
 	Sum     uint64             `json:"sum"`
+	P50     uint64             `json:"p50"`
+	P99     uint64             `json:"p99"`
+	P999    uint64             `json:"p999"`
 	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// fillQuantiles recomputes the exported percentile fields from the buckets.
+// Call after any mutation of Count/Buckets (Snapshot, Merge).
+func (s *HistogramSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.5)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 }
 
 // Snapshot merges all stripes into one view.
@@ -84,6 +99,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			s.Count += n
 		}
 	}
+	s.fillQuantiles()
 	return s
 }
 
@@ -157,6 +173,7 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	for b := 0; b < NumBuckets; b++ {
 		out.Buckets[b] += o.Buckets[b]
 	}
+	out.fillQuantiles()
 	return out
 }
 

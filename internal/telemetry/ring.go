@@ -86,6 +86,11 @@ type SweepRecord struct {
 	RecycleNanos int64 `json:"recycle_ns"` // filter + FreeBatch release
 	PurgeNanos   int64 `json:"purge_ns"`
 	TotalNanos   int64 `json:"total_ns"`
+	// PrecleanNanos is time spent in concurrent pre-clean rounds (test-and-
+	// clear scans of soft-dirty pages run while mutators keep going) between
+	// the concurrent mark and the STW re-scan; zero when marking is not
+	// concurrent or the dirty set was already under the rescan budget.
+	PrecleanNanos int64 `json:"preclean_ns,omitempty"`
 
 	// Marking-phase work figures.
 	PagesScanned uint64 `json:"pages_scanned"`
@@ -93,6 +98,13 @@ type SweepRecord struct {
 	// BytesZeroSkipped is bytes the scan loop skipped via the 8-wide
 	// zero-group compare — the zero-on-free dividend.
 	BytesZeroSkipped uint64 `json:"bytes_zero_skipped"`
+	// DirtyPages is the number of soft-dirty pages the STW re-scan visited —
+	// the figure that makes the pause window scale with mutator write rate
+	// rather than heap size. Zero outside mostly-concurrent mode.
+	DirtyPages uint64 `json:"dirty_pages,omitempty"`
+	// PrecleanPages is the total pages visited by concurrent pre-clean
+	// rounds before the STW re-scan.
+	PrecleanPages uint64 `json:"preclean_pages,omitempty"`
 
 	// Quarantine outcome figures.
 	EntriesLocked uint64 `json:"entries_locked"`
@@ -101,6 +113,10 @@ type SweepRecord struct {
 	// Workers is the sweep worker count (main + helpers) that marked; the
 	// helper-utilisation figure of §4.4.
 	Workers int `json:"workers"`
+	// ShardsSwept is how many arena shards this sweep locked in (per-shard
+	// sweep ownership: threshold-triggered sweeps lock in only the shards
+	// that are due). Zero when the quarantine is unsharded.
+	ShardsSwept int `json:"shards_swept,omitempty"`
 }
 
 // DefaultRingCap is the default number of sweep records retained.

@@ -77,15 +77,15 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	if len(s.Sweeps) > 0 {
 		tb := metrics.NewTable("sweep", "trigger", "total", "mark", "dirty", "recycle", "purge",
-			"pages", "zero-skip", "locked", "released", "retained", "workers")
+			"pages", "dirty-pg", "zero-skip", "locked", "released", "retained", "workers", "shards")
 		for _, r := range s.Sweeps {
 			tb.AddRow(
 				fmt.Sprint(r.Seq), r.Trigger.String(),
 				fmtNs(r.TotalNanos), fmtNs(r.MarkNanos), fmtNs(r.DirtyNanos),
 				fmtNs(r.RecycleNanos), fmtNs(r.PurgeNanos),
-				fmtCount(r.PagesScanned), metrics.FmtMiB(r.BytesZeroSkipped),
+				fmtCount(r.PagesScanned), fmtCount(r.DirtyPages), metrics.FmtMiB(r.BytesZeroSkipped),
 				fmtCount(r.EntriesLocked), fmtCount(r.Released), fmtCount(r.Retained),
-				fmt.Sprint(r.Workers),
+				fmt.Sprint(r.Workers), fmt.Sprint(r.ShardsSwept),
 			)
 		}
 		if _, err := io.WriteString(w, tb.String()); err != nil {
@@ -98,10 +98,10 @@ func (s Snapshot) WriteText(w io.Writer) error {
 				return err
 			}
 		}
-		tb := metrics.NewTable("histogram", "count", "mean", "p50", "p90", "p99", "max")
+		tb := metrics.NewTable("histogram", "count", "mean", "p50", "p90", "p99", "p99.9", "max")
 		for _, h := range s.Histograms {
 			if h.Count == 0 {
-				tb.AddRow(h.Name, "0", "-", "-", "-", "-", "-")
+				tb.AddRow(h.Name, "0", "-", "-", "-", "-", "-", "-")
 				continue
 			}
 			tb.AddRow(h.Name, fmtCount(h.Count),
@@ -109,6 +109,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 				"<"+fmtNs(int64(h.Quantile(0.5))),
 				"<"+fmtNs(int64(h.Quantile(0.9))),
 				"<"+fmtNs(int64(h.Quantile(0.99))),
+				"<"+fmtNs(int64(h.Quantile(0.999))),
 				"<"+fmtNs(int64(h.Max())))
 		}
 		if _, err := io.WriteString(w, "\n"+tb.String()); err != nil {

@@ -42,6 +42,12 @@ const (
 	HistFree   = "free_ns"
 	HistPause  = "pause_ns"
 	HistSweep  = "sweep_ns"
+	// HistStw records the stop-the-world window of each sweep: the span
+	// mutators are actually held at safepoints (the soft-dirty re-scan in
+	// mostly-concurrent mode, or the whole mark when marking is not
+	// concurrent). This is the pause-tail metric the `make pause-gate`
+	// acceptance bound reads at p99.9.
+	HistStw = "stw_pause_ns"
 )
 
 // DefaultSamplePeriod is the default 1-in-N sampling rate for the malloc and
@@ -84,6 +90,7 @@ type Registry struct {
 	Free   *Histogram // free latency, ns
 	Pause  *Histogram // §5.7 allocation-pause stall, ns
 	Sweep  *Histogram // whole-sweep duration, ns
+	Stw    *Histogram // per-sweep stop-the-world window, ns (exact, not sampled)
 
 	samplePeriod atomic.Uint64
 
@@ -107,6 +114,7 @@ func NewRegistry(ringCap int) *Registry {
 		Free:   NewHistogram(HistFree, "ns", DefaultHistShards),
 		Pause:  NewHistogram(HistPause, "ns", 1),
 		Sweep:  NewHistogram(HistSweep, "ns", 1),
+		Stw:    NewHistogram(HistStw, "ns", 1),
 	}
 	r.samplePeriod.Store(DefaultSamplePeriod)
 	return r
@@ -185,7 +193,7 @@ func (r *Registry) Snapshot() Snapshot {
 		st := g.State()
 		s.Governor = &st
 	}
-	hists := []*Histogram{r.Malloc, r.Free, r.Pause, r.Sweep}
+	hists := []*Histogram{r.Malloc, r.Free, r.Pause, r.Sweep, r.Stw}
 	r.mu.Lock()
 	hists = append(hists, r.extra...)
 	gauges := append([]gauge(nil), r.gauges...)

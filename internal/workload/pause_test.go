@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"minesweeper/internal/core"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/telemetry"
+)
+
+// defaultPauseBoundNs is the default p99.9 stop-the-world bound for the pause
+// gate: 2^19 ns. The stw histogram's power-of-two buckets report a quantile
+// as its bucket's upper bound, so a reported p99.9 <= 2^19 ns proves the true
+// p99.9 is strictly under one millisecond with room to spare.
+const defaultPauseBoundNs = 524288
+
+// TestPauseTailBound is the acceptance gate for the pipelined sweep: run the
+// multi-threaded pressure ramp under the mostly-concurrent scheme with a real
+// stop-the-world (the simulator world), and require the p99.9 STW pause —
+// from the exact, unsampled stw histogram — to stay under the bound. The
+// bound comes from MS_PAUSE_BOUND_NS (default 2^19 ns ≈ 0.52 ms); the test is
+// gated behind MS_PAUSE_GATE=1 (see Makefile's pause-gate target) because it
+// runs the full-scale profile.
+func TestPauseTailBound(t *testing.T) {
+	if os.Getenv("MS_PAUSE_GATE") == "" {
+		t.Skip("set MS_PAUSE_GATE=1 to run the pause-tail experiment (make pause-gate)")
+	}
+	bound := uint64(defaultPauseBoundNs)
+	if s := os.Getenv("MS_PAUSE_BOUND_NS"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil || v == 0 {
+			t.Fatalf("MS_PAUSE_BOUND_NS=%q: want a positive nanosecond count", s)
+		}
+		bound = v
+	}
+	prof, ok := FindProfile("pressure-mt")
+	if !ok {
+		t.Fatal("pressure-mt profile missing")
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.MostlyConcurrent
+	reg := telemetry.NewRegistry(0)
+	res, err := Run(prof, schemes.Custom("minesweeper-mostly", cfg), Options{Seed: 42, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Sweeps == 0 {
+		t.Fatal("pressure run completed without a single sweep; nothing to gate on")
+	}
+
+	var stw *telemetry.HistogramSnapshot
+	snap := reg.Snapshot()
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == telemetry.HistStw {
+			stw = &snap.Histograms[i]
+		}
+	}
+	if stw == nil || stw.Count == 0 {
+		t.Fatal("no STW windows recorded; the mostly-concurrent path did not run")
+	}
+	t.Logf("stw pauses: n=%d mean=%.0fns p50<%dns p99<%dns p99.9<%dns max<%dns (bound %dns)",
+		stw.Count, stw.Mean(), stw.P50, stw.P99, stw.P999, stw.Max(), bound)
+	if stw.P999 > bound {
+		t.Errorf("p99.9 STW pause <%d ns exceeds the bound %d ns", stw.P999, bound)
+	}
+}

@@ -89,6 +89,13 @@ func coreConfig(cfg Config, world *sim.World) core.Config {
 	if cfg.BufferCap > 0 {
 		ccfg.BufferCap = cfg.BufferCap
 	}
+	ccfg.ConcurrentMark = !cfg.DisableConcurrentMark
+	if cfg.RescanBudgetPages != 0 {
+		ccfg.RescanBudgetPages = cfg.RescanBudgetPages
+		if cfg.RescanBudgetPages < 0 {
+			ccfg.RescanBudgetPages = 0
+		}
+	}
 	ccfg.Zeroing = !cfg.DisableZeroing
 	ccfg.Unmapping = !cfg.DisableUnmapping
 	ccfg.Purging = !cfg.DisablePurging
@@ -103,10 +110,11 @@ func coreConfig(cfg Config, world *sim.World) core.Config {
 		// adaptive one relaxes back to precisely the configured state.
 		ccfg.Control = control.NewPlane(control.Config{
 			Base: control.Knobs{
-				SweepThreshold: ccfg.SweepThreshold,
-				UnmappedFactor: ccfg.UnmappedFactor,
-				PauseThreshold: ccfg.PauseThreshold,
-				Helpers:        ccfg.Helpers,
+				SweepThreshold:    ccfg.SweepThreshold,
+				UnmappedFactor:    ccfg.UnmappedFactor,
+				PauseThreshold:    ccfg.PauseThreshold,
+				Helpers:           ccfg.Helpers,
+				RescanBudgetPages: ccfg.RescanBudgetPages,
 			},
 			Budget: cfg.MemoryBudget,
 			Policy: pol,
