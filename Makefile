@@ -16,7 +16,7 @@ help:
 	@echo "  bench      sweep hot-path benchmarks (bulk scan, markers, page scan)"
 	@echo "  bench-free malloc/free hot-path benchmarks (fixed-iteration protocol)"
 	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
-	@echo "  bench-gate gate: fresh MallocFree64 medians within BENCH_GATE_RATIO of BENCH_free.json"
+	@echo "  bench-gate gate: fresh MallocFree64 + SweepRelease medians within BENCH_GATE_RATIO of their BENCH_*.json"
 	@echo "  bench-all  every benchmark in the repository"
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
 	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
@@ -43,8 +43,12 @@ race:
 race-hot:
 	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/control ./internal/workload
 
-# The pre-merge gate: static checks plus the hot-path race pass.
-check: vet race-hot
+# The pre-merge gate: static checks, a fast config-validation pass (fails
+# immediately on inconsistent knob combinations like ZeroDeferred with
+# zeroing disabled), then the hot-path race pass.
+check: vet
+	$(GO) test -run '^TestValidate' -count=1 .
+	$(MAKE) race-hot
 
 # One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
 # sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
@@ -82,6 +86,8 @@ BENCH_GATE_RATIO ?= 1.5
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkMallocFree64' -benchtime=300000x -count=5 . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_free.json -match MallocFree64 -max-ratio $(BENCH_GATE_RATIO)
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_sweep.json -match SweepRelease -max-ratio $(BENCH_GATE_RATIO)
 
 # Telemetry-overhead gate: interleaved fixed-iteration rounds of the 64-byte
 # malloc/free pair with and without the telemetry registry attached; fails if

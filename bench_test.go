@@ -125,6 +125,65 @@ func BenchmarkMallocFree64_MineSweeper(b *testing.B) {
 	benchMallocFree(b, minesweeper.SchemeMineSweeper, 64)
 }
 
+// BenchmarkMallocFree64_MineSweeperDeferredZero is the same fast path with
+// zero-on-free moved off free() and into the thread ring's drain (one
+// range-merged batch zero per drain). Same-window A/B against the plain
+// MineSweeper run isolates what immediate zeroing costs the free() path.
+// Note that in THIS loop the chunks are never written, so their pages stay
+// known-zero and both modes elide nearly all clearing — the pair measures
+// the bookkeeping difference, not the memory traffic. The Touch pair below
+// measures the traffic.
+func BenchmarkMallocFree64_MineSweeperDeferredZero(b *testing.B) {
+	benchMallocFreeCfg(b, minesweeper.Config{
+		Scheme:   minesweeper.SchemeMineSweeper,
+		ZeroMode: minesweeper.ZeroDeferred,
+	}, 64)
+}
+
+// benchMallocFreeTouch is benchMallocFreeCfg with one store into the chunk
+// between malloc and free — the minimal realistic mutator, and the workload
+// where zero-on-free has actual work to do: the store drops the page's
+// known-zero bit, so every free really must scrub. This is the pair where
+// deferral's range-merged batch clears (one region lookup and a handful of
+// contiguous runs per drain, instead of one lookup + one sub-page clear per
+// free) show up as ns/op.
+func benchMallocFreeTouch(b *testing.B, cfg minesweeper.Config, size uint64) {
+	p, err := minesweeper.NewProcess(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	th, err := p.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(th.Close)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := th.Malloc(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := th.Store(a, uint64(i)|1); err != nil {
+			b.Fatal(err)
+		}
+		if err := th.Free(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMallocFree64Touch_MineSweeper(b *testing.B) {
+	benchMallocFreeTouch(b, minesweeper.Config{Scheme: minesweeper.SchemeMineSweeper}, 64)
+}
+
+func BenchmarkMallocFree64Touch_MineSweeperDeferredZero(b *testing.B) {
+	benchMallocFreeTouch(b, minesweeper.Config{
+		Scheme:   minesweeper.SchemeMineSweeper,
+		ZeroMode: minesweeper.ZeroDeferred,
+	}, 64)
+}
+
 // BenchmarkMallocFree64_MineSweeperTelemetry is the same fast path with the
 // telemetry registry attached: the pair of timestamped histogram records per
 // op is the telemetry layer's whole hot-path cost. make telemetry-overhead

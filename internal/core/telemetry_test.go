@@ -25,6 +25,13 @@ func TestTelemetrySweepRecord(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Write real data so the containing pages are not known-zero: an
+		// untouched heap would be dismissed entirely by the known-zero map
+		// and scan nothing, which is exactly what the PagesScanned
+		// assertion below must not be satisfied by.
+		if err := h.space.Store64(a, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
 		addrs = append(addrs, a)
 	}
 	for _, a := range addrs {

@@ -12,6 +12,14 @@ const (
 	pageWrite    uint32 = 1 << 2 // stores permitted
 	pageDirty    uint32 = 1 << 3 // soft-dirty: written since last ClearSoftDirty
 	pageBusy     uint32 = 1 << 4 // page lock: bulk zeroing or scanning in progress
+	// pageKnownZero records that every word of the page was zero the last
+	// time a bulk zeroing completed and no store has completed since: the
+	// page is zero by construction. Set by full-page zeroRange, fresh
+	// committed mappings and backing drops; cleared by the same post-store
+	// CAS that sets the dirty bit, so dirty and known-zero are never set
+	// together. The sweeper skips known-zero pages without reading a word,
+	// and zeroRange skips re-zeroing them.
+	pageKnownZero uint32 = 1 << 5
 )
 
 func protBits(p Prot) uint32 {
@@ -61,6 +69,20 @@ type Region struct {
 	// O(dirty) instead of walking every page's state word — the stop-the-world
 	// re-scan must scale with the mutators' write rate, not heap size.
 	dirtySum []atomic.Uint64
+
+	// zeroSum is a one-bit-per-page hint mirroring dirtySum's geometry for
+	// the known-zero state (bit i%64 of word i/64 covers page i). Unlike
+	// dirtySum it is a pure hint in BOTH directions: a set bit means the
+	// page MAY be known-zero (re-check PageKnownZero, the truth), a clear
+	// bit means a skip is probably not available — scanning a page whose
+	// stale-clear hint hid its known-zero bit is merely slower, never
+	// wrong. Zeroers set the page bit before the summary bit; the store()
+	// CAS winner that clears a page's known-zero bit clears its summary
+	// bit after, so hints track the truth closely without any ordering
+	// obligation on readers. The summary is what lets the sweeper probe 64
+	// pages' zero-skip eligibility with one load before touching any page
+	// state word.
+	zeroSum []atomic.Uint64
 
 	// dirtyListed records that the region is on the space's dirtied-region
 	// list for the current soft-dirty window, so the first store to dirty a
@@ -259,27 +281,82 @@ func (r *Region) store(addr, v uint64) error {
 	atomic.StoreUint64(&w[(addr-r.base)>>3], v)
 	for {
 		old := r.pages[pi].Load()
-		if old&pageDirty != 0 {
-			// Already flagged: whoever clears this bit scans the page after
-			// the clear, and the clear comes after this load, which comes
-			// after our word store — so the scan observes it.
+		if old&(pageDirty|pageKnownZero) == pageDirty {
+			// Already flagged and not known-zero: whoever clears the dirty
+			// bit scans the page after the clear, and the clear comes after
+			// this load, which comes after our word store — so the scan
+			// observes it.
 			break
 		}
-		if r.pages[pi].CompareAndSwap(old, old|pageDirty) {
+		if r.pages[pi].CompareAndSwap(old, (old|pageDirty)&^pageKnownZero) {
 			// Exactly one writer wins the clean→dirty transition (CAS, not
 			// Or), keeping the space's dirty-page count exact. The summary
 			// bit and the region listing follow the page bit, so a consumer
 			// that took them sees the page bit set (or the page was already
 			// consumed by an earlier pass that scanned our store).
-			r.space.dirtyPages.Add(1)
-			r.dirtySum[pi>>6].Or(1 << uint(pi&63))
-			if !r.dirtyListed.Load() && r.dirtyListed.CompareAndSwap(false, true) {
-				r.space.addDirtyRegion(r)
+			//
+			// The same CAS retires the page's known-zero bit: it happens
+			// after the word store, so a sweeper that observed the bit set
+			// and skipped the page behaved exactly as if it had scanned the
+			// page just before this store landed — and the dirty bit set
+			// here hands the page to the stop-the-world re-scan, which
+			// never consults the known-zero map.
+			if old&pageDirty == 0 {
+				r.space.dirtyPages.Add(1)
+				r.dirtySum[pi>>6].Or(1 << uint(pi&63))
+				if !r.dirtyListed.Load() && r.dirtyListed.CompareAndSwap(false, true) {
+					r.space.addDirtyRegion(r)
+				}
+			}
+			if old&pageKnownZero != 0 {
+				r.zeroSum[pi>>6].And(^(uint64(1) << uint(pi&63)))
 			}
 			break
 		}
 	}
+	if r.parent != nil {
+		// An alias store lands in the parent's physical frames: the
+		// parent's known-zero claim for that page no longer holds. The
+		// alias's own page bits never carry known-zero, so only the parent
+		// needs invalidating.
+		r.parent.clearKnownZeroPage(int((r.parentOff + (addr - r.base)) >> PageShift))
+	}
 	return nil
+}
+
+// clearKnownZeroPage retires page i's known-zero bit (and its summary hint)
+// if set. The CAS keeps the dirty-transition accounting untouched.
+func (r *Region) clearKnownZeroPage(i int) {
+	for {
+		old := r.pages[i].Load()
+		if old&pageKnownZero == 0 {
+			return
+		}
+		if r.pages[i].CompareAndSwap(old, old&^pageKnownZero) {
+			r.zeroSum[i>>6].And(^(uint64(1) << uint(i&63)))
+			return
+		}
+	}
+}
+
+// markKnownZero publishes page i as known-zero after a completed full-page
+// zeroing. It must only be attempted from a state with the dirty bit clear:
+// a concurrent writer's post-store CAS sets dirty and clears known-zero
+// together, so refusing to set the bit over a dirty state (and letting a
+// racing dirty-set simply abandon the attempt) guarantees a page is never
+// simultaneously known-zero and holding an unscanned store. See zeroRange
+// for the full ordering argument.
+func (r *Region) markKnownZero(i int) {
+	for {
+		old := r.pages[i].Load()
+		if old&(pageDirty|pageKnownZero) != 0 {
+			return
+		}
+		if r.pages[i].CompareAndSwap(old, old|pageKnownZero) {
+			r.zeroSum[i>>6].Or(1 << uint(i&63))
+			return
+		}
+	}
 }
 
 // LockPage acquires page i's busy bit. It orders bulk plain-memory
@@ -318,6 +395,23 @@ func (r *Region) UnlockPage(i int) {
 // memory they own regardless of current protections. addr and n must be
 // word-aligned. Each page segment is cleared with plain stores under the
 // page lock (see LockPage) — the simulated memset.
+//
+// The known-zero map is both consumed and produced here. A segment on a
+// known-zero page is skipped outright: the bit certifies every completed
+// store preceding this call was itself overwritten by a later full-page
+// zeroing, so the words are already zero (an in-flight racing store would
+// have to target memory being zeroed — freed memory — which the LockPage
+// contract already excludes). A segment covering its whole page publishes
+// the bit on completion, in three ordered steps under the page lock: consume
+// the dirty bit first (with exact transition accounting — zeroing the page
+// discharges the scan obligation the bit carried, since any store it
+// flagged is wiped by the clear below and a re-scan would only read zeros),
+// then clear the words, then set known-zero ONLY from a still-clean state.
+// A writer racing the last step either lands its dirty CAS first — the set
+// is abandoned and the page stays a normal dirty page — or lands it after,
+// clearing the bit again; no interleaving leaves known-zero set over an
+// unscanned store. Partial-page segments publish nothing: the rest of the
+// page is not proven zero.
 func (r *Region) zeroRange(addr, n uint64) {
 	for n > 0 {
 		pi := r.pageIndexOf(addr)
@@ -325,11 +419,33 @@ func (r *Region) zeroRange(addr, n uint64) {
 		if segEnd > addr+n {
 			segEnd = addr + n
 		}
+		if r.pages[pi].Load()&pageKnownZero != 0 {
+			r.space.zeroElided.Add(segEnd - addr)
+			n -= segEnd - addr
+			addr = segEnd
+			continue
+		}
 		ws := (addr - r.base) >> 3
 		we := (segEnd - r.base) >> 3
+		full := addr == r.PageAddr(pi) && segEnd == r.PageAddr(pi)+PageSize
 		r.LockPage(pi)
+		if full {
+			for {
+				old := r.pages[pi].Load()
+				if old&pageDirty == 0 {
+					break
+				}
+				if r.pages[pi].CompareAndSwap(old, old&^pageDirty) {
+					r.space.dirtyPages.Add(-1)
+					break
+				}
+			}
+		}
 		if w := r.wordSlice(); w != nil {
 			clear(w[ws:we])
+		}
+		if full && r.parent == nil {
+			r.markKnownZero(pi)
 		}
 		r.UnlockPage(pi)
 		n -= segEnd - addr
@@ -389,6 +505,13 @@ func (r *Region) ScanRange(addr, n uint64, fn func(v uint64)) {
 // commit marks pages [addr, addr+n) resident with protection prot, zeroing
 // their contents (fresh pages from the OS are zero-filled). Returns the
 // number of pages that transitioned from non-resident to resident.
+//
+// The known-zero bit survives the state rewrite: a page that was known-zero
+// while non-resident (its words untouched since nothing writes non-resident
+// pages, or its backing dropped and replaced by a zeroed one) is still zero
+// after commit, so the zero-fill for newly resident known-zero pages is
+// elided — this is where the purge path stops paying to re-zero memory the
+// decommit already discarded.
 func (r *Region) commit(addr, n uint64, prot Prot) int {
 	r.ensureBacking()
 	first := r.pageIndexOf(addr)
@@ -400,7 +523,7 @@ func (r *Region) commit(addr, n uint64, prot Prot) int {
 		var old uint32
 		for {
 			old = r.pages[i].Load()
-			if r.pages[i].CompareAndSwap(old, old&pageBusy|bits) {
+			if r.pages[i].CompareAndSwap(old, old&(pageBusy|pageKnownZero)|bits) {
 				break
 			}
 		}
@@ -410,7 +533,11 @@ func (r *Region) commit(addr, n uint64, prot Prot) int {
 		if old&pageResident == 0 {
 			newly++
 			if r.parent == nil {
-				r.zeroRange(r.PageAddr(i), PageSize)
+				if old&pageKnownZero != 0 {
+					r.space.zeroElided.Add(PageSize)
+				} else {
+					r.zeroRange(r.PageAddr(i), PageSize)
+				}
 			}
 		}
 	}
@@ -426,6 +553,12 @@ func (r *Region) commit(addr, n uint64, prot Prot) int {
 // commit zero-fills on re-residency, so a decommitted-then-recommitted page
 // still reads as zero. When the whole region goes non-resident its backing is
 // dropped to the pool. Returns the number of pages that were resident.
+// The known-zero bit is preserved across decommit: nothing writes a
+// non-resident page, so words that were zero stay zero in the (retained)
+// backing, and commit's re-zero elision depends on the bit surviving. When
+// the whole region's backing is dropped, every page becomes known-zero —
+// the next ensureBacking installs zeroed frames — which is what makes an
+// unmap/remap or full purge/recommit cycle cost no zeroing at all.
 func (r *Region) decommit(addr, n uint64) int {
 	first := r.pageIndexOf(addr)
 	last := r.pageIndexOf(addr + n - 1)
@@ -435,7 +568,7 @@ func (r *Region) decommit(addr, n uint64) int {
 		var old uint32
 		for {
 			old = r.pages[i].Load()
-			if r.pages[i].CompareAndSwap(old, old&pageBusy) {
+			if r.pages[i].CompareAndSwap(old, old&(pageBusy|pageKnownZero)) {
 				break
 			}
 		}
@@ -452,9 +585,22 @@ func (r *Region) decommit(addr, n uint64) int {
 	if released > 0 && r.resident.Add(int32(-released)) == 0 && r.parent == nil {
 		if old := r.words.Swap(nil); old != nil {
 			r.space.putBacking(*old)
+			r.setAllKnownZero()
 		}
 	}
 	return released
+}
+
+// setAllKnownZero publishes every page as known-zero after the region's
+// backing is dropped: the stale frames are gone and the replacement arrives
+// zeroed from the pool. The region is fully non-resident here (that is the
+// drop condition) and owner-serialised against recommit, so no store or
+// zeroing can race the publication; the loop still refuses to cover a dirty
+// page, preserving the never-dirty-and-known-zero invariant.
+func (r *Region) setAllKnownZero() {
+	for i := range r.pages {
+		r.markKnownZero(i)
+	}
 }
 
 // protect changes the protection of pages [addr, addr+n) without touching
@@ -565,3 +711,25 @@ func (r *Region) TestClearPageDirty(i int) bool {
 		}
 	}
 }
+
+// PageKnownZero reports whether page i is known-zero: every word is zero by
+// construction (zeroed, purged, or freshly committed) and no store has
+// completed since. A true return licenses a scanner to treat the page as a
+// run of zeros without reading it; a store completing concurrently with the
+// check retires the bit only after its word lands, so acting on a stale
+// true is indistinguishable from having scanned the page just before that
+// store (whose dirty bit then routes it to any re-scan pass).
+func (r *Region) PageKnownZero(i int) bool {
+	return r.pages[i].Load()&pageKnownZero != 0
+}
+
+// KnownZeroSummaryWords returns the length of the known-zero summary
+// bitmap: one uint64 per 64 pages, rounded up (same geometry as the dirty
+// summary).
+func (r *Region) KnownZeroSummaryWords() int { return len(r.zeroSum) }
+
+// KnownZeroSummaryWord loads known-zero summary word w. Both polarities are
+// hints — a set bit means the page is probably known-zero (confirm with
+// PageKnownZero before skipping), a clear bit means probably not (scanning
+// anyway is always correct) — so readers carry no ordering obligations.
+func (r *Region) KnownZeroSummaryWord(w int) uint64 { return r.zeroSum[w].Load() }

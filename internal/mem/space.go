@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -88,6 +89,11 @@ type AddressSpace struct {
 	dirtyPages atomic.Int64
 	dirtyMu    sync.Mutex
 	dirtyRegs  []*Region
+
+	// zeroElided counts bytes whose zeroing was skipped because the target
+	// pages were already known-zero — the Zero/commit-side payoff of the
+	// known-zero map (the sweep-side payoff is counted by the sweeper).
+	zeroElided atomic.Uint64
 
 	// backing pools recycle word-slice backings by size so that extent
 	// commit/decommit cycles (quarantine unmapping, purging) do not churn
@@ -253,12 +259,19 @@ func (as *AddressSpace) Map(kind Kind, size uint64, committed bool) (*Region, er
 		kind:     kind,
 		pages:    make([]atomic.Uint32, size/PageSize),
 		dirtySum: make([]atomic.Uint64, (size/PageSize+63)/64),
+		zeroSum:  make([]atomic.Uint64, (size/PageSize+63)/64),
 	}
 	if committed {
 		r.ensureBacking()
-		bits := pageResident | pageRead | pageWrite
+		// Fresh committed mappings are zero-filled by construction, so
+		// every page starts known-zero: untouched pages of a new extent
+		// cost the sweeper nothing.
+		bits := pageResident | pageRead | pageWrite | pageKnownZero
 		for i := range r.pages {
 			r.pages[i].Store(bits)
+		}
+		for i := range r.zeroSum {
+			r.zeroSum[i].Store(^uint64(0))
 		}
 		r.resident.Store(int32(size / PageSize))
 		as.rss.Add(int64(size))
@@ -390,6 +403,7 @@ func (as *AddressSpace) MapAlias(parent *Region, offset, size uint64) (*Region, 
 		kind:      KindHeap,
 		pages:     make([]atomic.Uint32, size/PageSize),
 		dirtySum:  make([]atomic.Uint64, (size/PageSize+63)/64),
+		zeroSum:   make([]atomic.Uint64, (size/PageSize+63)/64),
 		parent:    parent,
 		parentOff: offset,
 	}
@@ -451,6 +465,64 @@ func (as *AddressSpace) Zero(addr, n uint64) error {
 	r.zeroRange(addr, n)
 	return nil
 }
+
+// ZeroRun is one word-aligned range for ZeroBatch.
+type ZeroRun struct {
+	Addr, Size uint64
+}
+
+// ZeroBatch zeroes every range in runs with the same semantics as Zero,
+// after sorting them and merging adjacent or overlapping ranges within one
+// region into single contiguous clears. A ring drain frees many chunks
+// carved from the same slabs, so the merged runs frequently cover whole
+// pages that individual chunk-sized Zero calls never could — and a
+// whole-page clear both runs once per page and publishes the page's
+// known-zero bit, which per-chunk clears cannot. runs is reordered in
+// place. The first invalid range aborts the batch with an error; earlier
+// runs stay zeroed.
+func (as *AddressSpace) ZeroBatch(runs []ZeroRun) error {
+	if len(runs) == 0 {
+		return nil
+	}
+	// slices.SortFunc, not sort.Slice: this runs on every ring drain and the
+	// reflection-based swapper shows up in malloc/free profiles. Drains push
+	// frees in rough address order already, which pdqsort handles in O(n).
+	slices.SortFunc(runs, func(a, b ZeroRun) int {
+		switch {
+		case a.Addr < b.Addr:
+			return -1
+		case a.Addr > b.Addr:
+			return 1
+		default:
+			return 0
+		}
+	})
+	cur := runs[0]
+	for _, run := range runs[1:] {
+		if run.Size == 0 {
+			continue
+		}
+		if run.Addr <= cur.Addr+cur.Size {
+			if end := run.Addr + run.Size; end > cur.Addr+cur.Size {
+				cur.Size = end - cur.Addr
+			}
+			continue
+		}
+		if err := as.Zero(cur.Addr, cur.Size); err != nil {
+			return err
+		}
+		cur = run
+	}
+	if cur.Size == 0 {
+		return nil
+	}
+	return as.Zero(cur.Addr, cur.Size)
+}
+
+// ZeroElidedBytes returns the total bytes whose zeroing was skipped because
+// the target pages were already known-zero (zero-on-free over fresh or
+// re-zeroed pages, commit over purged pages).
+func (as *AddressSpace) ZeroElidedBytes() uint64 { return as.zeroElided.Load() }
 
 // ClearSoftDirty clears the soft-dirty bit on every page of every region, the
 // analogue of writing "4" to /proc/pid/clear_refs before a mostly-concurrent

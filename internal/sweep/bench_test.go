@@ -121,7 +121,9 @@ func TestBulkPathMatchesPerWord(t *testing.T) {
 
 	bulk, bulkMarks := newBenchSweeper(t, heapBytes)
 	// Force multiple workers regardless of host GOMAXPROCS so the striped
-	// queue and stealing paths are exercised.
+	// queue and stealing paths are exercised. The per-word reference path
+	// never consults the known-zero map, so disable the skip for equivalence.
+	bulk.SetKnownZeroSkip(false)
 	bulk.helpers.Store(3)
 	bulkSwept := bulk.MarkAll()
 
@@ -182,7 +184,8 @@ func TestStripedStealing(t *testing.T) {
 	}
 	marks, _ := shadow.New(mem.HeapBase, mem.HeapLimit, 4)
 	s := New(as, marks, 0)
-	s.helpers.Store(7) // bypass the GOMAXPROCS clamp: stealing must still be correct
+	s.helpers.Store(7)        // bypass the GOMAXPROCS clamp: stealing must still be correct
+	s.SetKnownZeroSkip(false) // this test asserts every byte is visited
 	if swept := s.MarkAll(); swept != heap.Size() {
 		t.Errorf("swept %d bytes, want %d", swept, heap.Size())
 	}

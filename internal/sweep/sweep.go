@@ -73,9 +73,15 @@ type Sweeper struct {
 	stripes   []stripe      // reusable per-worker ticket ranges
 	dirtyRegs []*mem.Region // reusable dirtied-region snapshot (dirty passes)
 
+	// kzSkipOff disables the known-zero page skip (ablation and A/B
+	// benchmarks); the zero value — skip enabled — is the production
+	// configuration.
+	kzSkipOff atomic.Bool
+
 	bytesSwept  atomic.Uint64
 	pagesSwept  atomic.Uint64
 	zeroSkipped atomic.Uint64 // bytes skipped by the zero-group compare
+	kzSkipped   atomic.Uint64 // pages skipped via the known-zero map
 	busyNanos   atomic.Int64  // summed worker busy time (CPU usage meter)
 }
 
@@ -87,8 +93,15 @@ type PassStats struct {
 	BytesScanned uint64
 	PagesScanned uint64
 	// ZeroSkippedBytes is bytes dismissed eight words at a time by the
-	// zero-group compare — the zero-on-free dividend (§4.1).
+	// zero-group compare — the zero-on-free dividend (§4.1). It counts only
+	// words actually read; pages the known-zero map skipped never generate
+	// memory traffic and are counted in KnownZeroPages instead.
 	ZeroSkippedBytes uint64
+	// KnownZeroPages is pages dismissed by the known-zero map without a
+	// single word load — zero-by-construction coverage the pass proved for
+	// free. Not included in PagesScanned/BytesScanned, which measure real
+	// memory traffic.
+	KnownZeroPages uint64
 	// Workers is the number of workers that ran the pass.
 	Workers int
 	// ElapsedNanos is the pass's wall time.
@@ -278,24 +291,54 @@ func scanPageWords(words []uint64, mk *shadow.Marker) (zeroWords int) {
 }
 
 // scanChunk marks pointer targets in one chunk through the worker's marker,
-// returning bytes scanned, pages scanned, and bytes skipped as zero groups.
-func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages int, zeroBytes uint64) {
+// returning bytes scanned, pages scanned, pages skipped via the known-zero
+// map, and bytes skipped as zero groups.
+//
+// Before the 8-wide word loop ever runs, whole pages are dismissed through
+// the known-zero map: one summary-word load probes 64 pages, and each
+// candidate is confirmed against the per-page bit (the truth — the summary
+// is a hint in both directions). A skipped page generates zero memory
+// traffic. Safety: a page's known-zero bit is retired by the same
+// post-store CAS that sets its dirty bit, so skipping on a bit the scan
+// observed set is indistinguishable from having scanned the page just
+// before any concurrent store — which the concurrent-mark mode already
+// permits — while in mostly-concurrent mode the store's dirty bit routes
+// the page to the stop-the-world re-scan, which never consults the map.
+func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages, kzPages int, zeroBytes uint64) {
 	if c.dirtyOnly {
 		return s.scanDirtyChunk(c, mk)
 	}
 	r := c.r
 	var zeroWords int
 	scan := func(words []uint64) { zeroWords += scanPageWords(words, mk) }
-	for p := c.pageFirst; p < c.pageAfter; p++ {
-		// The page lock (taken inside ScanPageWords) orders this scan
-		// against bulk zeroing (free, decommit) so the sweeper never reads
-		// half-zeroed memory.
-		if r.ScanPageWords(p, scan) {
-			scanned += mem.PageSize
-			pages++
+	useKZ := !s.kzSkipOff.Load()
+	for w, wEnd := c.pageFirst>>6, (c.pageAfter+63)>>6; w < wEnd; w++ {
+		var sum uint64
+		if useKZ {
+			sum = r.KnownZeroSummaryWord(w)
+		}
+		p, pEnd := w<<6, (w+1)<<6
+		if p < c.pageFirst {
+			p = c.pageFirst
+		}
+		if pEnd > c.pageAfter {
+			pEnd = c.pageAfter
+		}
+		for ; p < pEnd; p++ {
+			if sum&(1<<uint(p&63)) != 0 && r.PageKnownZero(p) {
+				kzPages++
+				continue
+			}
+			// The page lock (taken inside ScanPageWords) orders this scan
+			// against bulk zeroing (free, decommit) so the sweeper never
+			// reads half-zeroed memory.
+			if r.ScanPageWords(p, scan) {
+				scanned += mem.PageSize
+				pages++
+			}
 		}
 	}
-	return scanned, pages, uint64(zeroWords) * 8
+	return scanned, pages, kzPages, uint64(zeroWords) * 8
 }
 
 // scanDirtyChunk is scanChunk for dirty-only passes: it walks the chunk's
@@ -308,7 +351,11 @@ func (s *Sweeper) scanChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages i
 // mem.Region.TakeDirtySummaryWord for why that order loses no writes — so
 // each round also re-tightens the summary for the rounds and the final
 // stop-the-world pass behind it.
-func (s *Sweeper) scanDirtyChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages int, zeroBytes uint64) {
+// Dirty pages are re-scanned unconditionally — a dirty page cannot be
+// known-zero (the store CAS clears one bit as it sets the other), and the
+// stop-the-world correctness argument depends on the re-scan never
+// trusting the map.
+func (s *Sweeper) scanDirtyChunk(c chunk, mk *shadow.Marker) (scanned uint64, pages, kzPages int, zeroBytes uint64) {
 	r := c.r
 	var zeroWords int
 	scan := func(words []uint64) { zeroWords += scanPageWords(words, mk) }
@@ -339,7 +386,7 @@ func (s *Sweeper) scanDirtyChunk(c chunk, mk *shadow.Marker) (scanned uint64, pa
 			}
 		}
 	}
-	return scanned, pages, uint64(zeroWords) * 8
+	return scanned, pages, 0, uint64(zeroWords) * 8
 }
 
 // run executes all chunks across the main goroutine plus helpers, returning
@@ -371,11 +418,11 @@ func (s *Sweeper) run(chunks []chunk) PassStats {
 		stripes[i].end = int64(lo + n)
 		lo += n
 	}
-	var total, totalPages, totalZero atomic.Uint64
+	var total, totalPages, totalZero, totalKZ atomic.Uint64
 	worker := func(id int) {
 		mk := s.marks.NewMarker()
 		var scanned, zero uint64
-		var pages int
+		var pages, kz int
 		for off := 0; off < len(stripes); off++ {
 			st := &stripes[(id+off)%len(stripes)]
 			for {
@@ -383,9 +430,10 @@ func (s *Sweeper) run(chunks []chunk) PassStats {
 				if i >= st.end {
 					break
 				}
-				sc, pg, zb := s.scanChunk(chunks[i], mk)
+				sc, pg, kp, zb := s.scanChunk(chunks[i], mk)
 				scanned += sc
 				pages += pg
+				kz += kp
 				zero += zb
 			}
 		}
@@ -393,6 +441,7 @@ func (s *Sweeper) run(chunks []chunk) PassStats {
 		total.Add(scanned)
 		totalPages.Add(uint64(pages))
 		totalZero.Add(zero)
+		totalKZ.Add(uint64(kz))
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -411,12 +460,14 @@ func (s *Sweeper) run(chunks []chunk) PassStats {
 		BytesScanned:     total.Load(),
 		PagesScanned:     totalPages.Load(),
 		ZeroSkippedBytes: totalZero.Load(),
+		KnownZeroPages:   totalKZ.Load(),
 		Workers:          workers,
 		ElapsedNanos:     elapsed.Nanoseconds(),
 	}
 	s.bytesSwept.Add(ps.BytesScanned)
 	s.pagesSwept.Add(ps.PagesScanned)
 	s.zeroSkipped.Add(ps.ZeroSkippedBytes)
+	s.kzSkipped.Add(ps.KnownZeroPages)
 	return ps
 }
 
@@ -489,6 +540,17 @@ func (s *Sweeper) PagesSwept() uint64 { return s.pagesSwept.Load() }
 // ZeroSkippedBytes returns the cumulative bytes the scan loop dismissed as
 // all-zero groups — the zero-on-free dividend (§4.1).
 func (s *Sweeper) ZeroSkippedBytes() uint64 { return s.zeroSkipped.Load() }
+
+// KnownZeroPages returns the cumulative pages dismissed via the known-zero
+// map, with no memory traffic at all.
+func (s *Sweeper) KnownZeroPages() uint64 { return s.kzSkipped.Load() }
+
+// SetKnownZeroSkip enables or disables the known-zero page skip for
+// subsequent passes. On by default; disabling it is the ablation arm of the
+// A/B benchmarks (every page is then scanned word by word, with only the
+// 8-wide zero-group compare to help). Safe to call concurrently with a
+// running pass.
+func (s *Sweeper) SetKnownZeroSkip(on bool) { s.kzSkipOff.Store(!on) }
 
 // BusyTime returns cumulative worker busy time — the additional CPU usage
 // the paper reports in Figure 12.

@@ -45,6 +45,9 @@ func TestMarkAllFindsPointers(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// This test asserts full-coverage byte accounting; disable the known-zero
+	// page skip so untouched pages still count as scanned.
+	s.SetKnownZeroSkip(false)
 	swept := s.MarkAll()
 	if want := uint64(6 * mem.PageSize); swept != want {
 		t.Errorf("bytes swept = %d, want %d", swept, want)
@@ -84,6 +87,13 @@ func TestNonResidentPagesSkipped(t *testing.T) {
 	as, marks, s := setup(t, 0)
 	heap, _ := as.Map(mem.KindHeap, 4*mem.PageSize, true)
 	target := heap.Base() + 8
+	// Touch every page so none is dismissed as known-zero: this test must
+	// observe the residency filter, not the known-zero skip.
+	for p := uint64(0); p < 4; p++ {
+		if err := as.Store64(heap.Base()+p*mem.PageSize+0x80, 0xdead); err != nil {
+			t.Fatal(err)
+		}
+	}
 	// Plant a pointer, then decommit its page: the sweep must skip it.
 	if err := as.Store64(heap.Base()+2*mem.PageSize, target); err != nil {
 		t.Fatal(err)

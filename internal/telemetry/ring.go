@@ -98,6 +98,11 @@ type SweepRecord struct {
 	// BytesZeroSkipped is bytes the scan loop skipped via the 8-wide
 	// zero-group compare — the zero-on-free dividend.
 	BytesZeroSkipped uint64 `json:"bytes_zero_skipped"`
+	// PagesKnownZero is pages the mark dismissed via the known-zero page
+	// map without touching their memory at all — the step past
+	// BytesZeroSkipped, which still had to read the words to see zeros.
+	// Not counted in PagesScanned/BytesScanned.
+	PagesKnownZero uint64 `json:"pages_known_zero,omitempty"`
 	// DirtyPages is the number of soft-dirty pages the STW re-scan visited —
 	// the figure that makes the pause window scale with mutator write rate
 	// rather than heap size. Zero outside mostly-concurrent mode.

@@ -77,13 +77,14 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	if len(s.Sweeps) > 0 {
 		tb := metrics.NewTable("sweep", "trigger", "total", "mark", "dirty", "recycle", "purge",
-			"pages", "dirty-pg", "zero-skip", "locked", "released", "retained", "workers", "shards")
+			"pages", "dirty-pg", "kz-pg", "zero-skip", "locked", "released", "retained", "workers", "shards")
 		for _, r := range s.Sweeps {
 			tb.AddRow(
 				fmt.Sprint(r.Seq), r.Trigger.String(),
 				fmtNs(r.TotalNanos), fmtNs(r.MarkNanos), fmtNs(r.DirtyNanos),
 				fmtNs(r.RecycleNanos), fmtNs(r.PurgeNanos),
-				fmtCount(r.PagesScanned), fmtCount(r.DirtyPages), metrics.FmtMiB(r.BytesZeroSkipped),
+				fmtCount(r.PagesScanned), fmtCount(r.DirtyPages), fmtCount(r.PagesKnownZero),
+				metrics.FmtMiB(r.BytesZeroSkipped),
 				fmtCount(r.EntriesLocked), fmtCount(r.Released), fmtCount(r.Retained),
 				fmt.Sprint(r.Workers), fmt.Sprint(r.ShardsSwept),
 			)

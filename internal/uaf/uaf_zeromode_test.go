@@ -1,0 +1,125 @@
+package uaf
+
+import (
+	"testing"
+
+	"minesweeper/internal/alloc"
+	"minesweeper/internal/core"
+	"minesweeper/internal/jemalloc"
+	"minesweeper/internal/mem"
+)
+
+// msDeferredBuild is msBuild with deferred zero-on-free and a real ring
+// (BufferCap 1 would drain — and therefore zero — on every free, hiding the
+// window this file is about).
+func msDeferredBuild(space *mem.AddressSpace) alloc.Allocator {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.Synchronous
+	cfg.SweepThreshold = 1e18
+	cfg.PauseThreshold = 0
+	cfg.BufferCap = 64
+	cfg.ZeroMode = core.ZeroDeferred
+	h, err := core.New(space, cfg, jemalloc.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TestExploitPreventedByMineSweeperDeferredZero re-runs the paper's exploit
+// scenario under deferred zeroing: the security argument is unchanged —
+// quarantine membership, not the scrub, is what keeps the spray off the
+// victim address — so the outcome must match ZeroImmediate exactly: never
+// Exploited, never a spray hit. What deferral DOES change is the benign
+// read's diagnostic value: this worldless sim has no stop-the-world quiesce,
+// so the victim's lone free sits undrained in the ring through both sweeps
+// and the dangling dispatch reads the stale original vtable instead of
+// immediate mode's zero. The stale bytes are the victim's own — the chunk is
+// ring-held and unreusable — and a drain converges the read back to zero.
+func TestExploitPreventedByMineSweeperDeferredZero(t *testing.T) {
+	prog, victim, attacker := setup(t, msDeferredBuild)
+	res, err := Run(prog, victim, attacker, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == Exploited {
+		t.Fatalf("deferred zeroing broke exploit prevention (hits=%d)", res.SprayHits)
+	}
+	if res.SprayHits != 0 {
+		t.Errorf("quarantined address handed to attacker %d times under deferred zeroing", res.SprayHits)
+	}
+	if res.ReadVtable == MaliciousVtable {
+		t.Fatalf("dangling read returned attacker data inside the deferred window")
+	}
+	// After a drain the deferred batch zero has run and the modes converge.
+	prog.Heap().(*core.Heap).FlushThread(victim.ID())
+	if vt, err := victim.Load(res.VictimAddr); err != nil || vt != 0 {
+		t.Fatalf("post-drain dangling read = %#x (err=%v), want 0", vt, err)
+	}
+}
+
+// TestDeferredZeroWindowIsBenign pins the one semantic ZeroDeferred trades
+// away and the two it must keep. Between free() and the ring drain — a window
+// of at most BufferCap frees — a benign dangling read may see the object's
+// stale bytes instead of zeros. That is a weaker diagnostic (immediate mode's
+// read-sees-0 signal), not a weaker defence: throughout the window the chunk
+// sits in the thread ring, unreleasable and unreusable, so an attacker spray
+// cannot land on it and the stale bytes are the victim's own, never
+// attacker-controlled. After the drain both modes converge on zero.
+func TestDeferredZeroWindowIsBenign(t *testing.T) {
+	prog, victim, attacker := setup(t, msDeferredBuild)
+
+	const legitVtable = 0x1000
+	x, err := victim.Malloc(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Store(x, legitVtable); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Store(prog.GlobalSlot(0), x); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Free(x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the window: the dangling read sees the stale original vtable —
+	// the victim's own bytes, which is exactly what an unprotected allocator
+	// would ALSO show here; deferral gives up only the read-sees-0 signal.
+	if vt, err := victim.Load(x); err != nil || vt != legitVtable {
+		t.Fatalf("in-window dangling read = %#x (err=%v), want the stale original vtable %#x",
+			vt, err, legitVtable)
+	}
+
+	// An attacker spraying inside the window must not land on the ring-held
+	// chunk: it has not been released to the substrate, so reuse is
+	// impossible regardless of when the scrub runs.
+	var spray []uint64
+	for i := 0; i < 500; i++ {
+		a, err := attacker.Malloc(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == x {
+			t.Fatalf("spray hit ring-held address %#x inside the deferred window", x)
+		}
+		if err := attacker.Store(a, MaliciousVtable); err != nil {
+			t.Fatal(err)
+		}
+		spray = append(spray, a)
+	}
+	if vt, _ := victim.Load(x); vt == MaliciousVtable {
+		t.Fatal("in-window dangling read returned attacker data")
+	}
+	cleanupSpray(attacker, spray)
+
+	// The drain closes the window: the batched zero pass runs before the
+	// entries become visible to the sweep, so post-drain reads match
+	// ZeroImmediate. (Sweep alone would not do it here — without a World
+	// there is no stop-the-world quiesce and rings belong to their owners.)
+	prog.Heap().(*core.Heap).FlushThread(victim.ID())
+	if vt, err := victim.Load(x); err != nil || vt != 0 {
+		t.Fatalf("post-drain dangling read = %#x (err=%v), want 0", vt, err)
+	}
+}

@@ -155,6 +155,17 @@ type Config struct {
 	RescanBudgetPages int
 	// DisableZeroing turns off zero-on-free (§4.1) — ablation only.
 	DisableZeroing bool
+	// ZeroMode selects when zero-on-free runs for small quarantined frees.
+	// ZeroImmediate (the default) zeroes inside free(), so a benign
+	// dangling read sees zeros the moment free returns — the paper's
+	// semantics. ZeroDeferred batches the zeroing into the thread ring's
+	// drain (one range-merged pass per batch, always completing before the
+	// entries become sweep-visible), trading a bounded stale-read window —
+	// at most one ring, BufferCap frees — for a cheaper free() hot path.
+	// Incompatible with DisableZeroing; Validate rejects the combination.
+	// Governed heaps expose the deferral as a knob the controller may turn
+	// off under pressure but never on when this field left it immediate.
+	ZeroMode ZeroMode
 	// DisableUnmapping turns off large-object page release (§4.2).
 	DisableUnmapping bool
 	// DisablePurging turns off the post-sweep allocator purge (§4.5).
@@ -185,6 +196,30 @@ type Config struct {
 	// the control plane for observability while freezing the knobs at
 	// their configured values.
 	Controller Policy
+}
+
+// ZeroMode selects when zero-on-free (§4.1) runs for small quarantined
+// frees; see Config.ZeroMode.
+type ZeroMode int
+
+const (
+	// ZeroImmediate zeroes inside free() (the default; the paper's
+	// benign-dangling-read-sees-0 semantics).
+	ZeroImmediate ZeroMode = iota
+	// ZeroDeferred batches zeroing into the thread-ring drain.
+	ZeroDeferred
+)
+
+// String returns the mode's name.
+func (z ZeroMode) String() string {
+	switch z {
+	case ZeroImmediate:
+		return "immediate"
+	case ZeroDeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("ZeroMode(%d)", int(z))
+	}
 }
 
 // Policy is a control-plane policy deciding knob adjustments at sweep
@@ -255,6 +290,13 @@ func (c Config) Validate() error {
 	if c.Controller != nil && !c.Scheme.schemeHasSweeps() {
 		return fmt.Errorf("%w: Controller set but scheme %v has no sweeps to govern",
 			ErrBadConfig, c.Scheme)
+	}
+	if c.ZeroMode == ZeroDeferred && c.DisableZeroing {
+		return fmt.Errorf("%w: ZeroDeferred with DisableZeroing — there is no zeroing to defer",
+			ErrBadConfig)
+	}
+	if c.ZeroMode != ZeroImmediate && c.ZeroMode != ZeroDeferred {
+		return fmt.Errorf("%w: unknown ZeroMode %v", ErrBadConfig, c.ZeroMode)
 	}
 	return nil
 }

@@ -23,6 +23,8 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"budget on markus", Config{Scheme: SchemeMarkUs, MemoryBudget: 1 << 30}, "MemoryBudget"},
 		{"budget on ffmalloc", Config{Scheme: SchemeFFMalloc, MemoryBudget: 1 << 30}, "MemoryBudget"},
 		{"controller on sweepless scheme", Config{Scheme: SchemeBaseline, Controller: AIMDPolicy()}, "Controller"},
+		{"deferred zeroing with zeroing disabled", Config{Scheme: SchemeMineSweeper, ZeroMode: ZeroDeferred, DisableZeroing: true}, "ZeroDeferred"},
+		{"unknown zero mode", Config{Scheme: SchemeMineSweeper, ZeroMode: ZeroMode(7)}, "ZeroMode"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,6 +59,9 @@ func TestValidateAcceptsDefaultsAndSaneConfigs(t *testing.T) {
 		{Scheme: SchemeScudoMineSweeper, MemoryBudget: 64 << 20},
 		{Scheme: SchemeMineSweeperDlmalloc, MemoryBudget: 64 << 20},
 		{Scheme: SchemeMineSweeper, Controller: AIMDPolicy()}, // controller without budget: age signal only
+		{Scheme: SchemeMineSweeper, ZeroMode: ZeroDeferred},
+		{Scheme: SchemeMineSweeper, ZeroMode: ZeroDeferred, MemoryBudget: 64 << 20},
+		{Scheme: SchemeMineSweeper, ZeroMode: ZeroImmediate, DisableZeroing: true}, // immediate + no zeroing = plain ablation
 		{Scheme: SchemeMarkUs, SweepThreshold: 0.25},
 	}
 	for _, cfg := range cases {

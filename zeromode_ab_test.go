@@ -1,0 +1,105 @@
+// The ZeroDeferred A/B experiment behind the EXPERIMENTS.md numbers.
+//
+// The loop stores one word into each chunk before freeing it: an untouched
+// chunk's page keeps its known-zero bit, so BOTH modes elide the clear and
+// the comparison collapses to bookkeeping noise (measured at parity). The
+// store drops the bit, making every free owe a real scrub — immediate mode
+// pays a region lookup plus an 80-byte clear per free, deferred mode a few
+// range-merged clears per ring drain. That dividend is ~10% of the pair, so
+// two separate `go test -bench` entries cannot resolve it reliably on this
+// host: ±10% window drift swamps it (the same failure mode the telemetry
+// gate documents). This test reuses that gate's estimator: one long-lived
+// process per ZeroMode, alternating fixed-iteration chunks, the minimum
+// chunk per side as its fast-path floor.
+package minesweeper_test
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	minesweeper "minesweeper"
+)
+
+// TestZeroModeABFloor reports the ZeroImmediate vs ZeroDeferred malloc/free
+// floors and fails only if deferral makes the pair slower — the mode exists
+// to buy throughput with the documented stale-read window, so costing ns
+// would mean the batch path regressed (e.g. the drain's merge stopped
+// coalescing). Skipped unless MS_ZERO_AB is set: meaningful only on an idle
+// machine.
+func TestZeroModeABFloor(t *testing.T) {
+	if os.Getenv("MS_ZERO_AB") == "" {
+		t.Skip("set MS_ZERO_AB=1 to run the ZeroMode A/B floor comparison")
+	}
+	const (
+		opsPerChunk = 100_000
+		chunks      = 30
+		pairs       = 3
+		maxRatio    = 1.0 // deferred must not be slower than immediate
+		attempts    = 3
+	)
+	newThread := func(mode minesweeper.ZeroMode) (*minesweeper.Process, *minesweeper.Thread) {
+		p, err := minesweeper.NewProcess(minesweeper.Config{
+			Scheme:   minesweeper.SchemeMineSweeper,
+			ZeroMode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := p.NewThread()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, th
+	}
+	chunk := func(th *minesweeper.Thread) float64 {
+		start := time.Now()
+		for i := 0; i < opsPerChunk; i++ {
+			a, err := th.Malloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Store(a, uint64(i)|1); err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / opsPerChunk
+	}
+	measure := func() (immMin, defMin float64) {
+		immMin, defMin = math.Inf(1), math.Inf(1)
+		for p := 0; p < pairs; p++ {
+			pImm, thImm := newThread(minesweeper.ZeroImmediate)
+			pDef, thDef := newThread(minesweeper.ZeroDeferred)
+			chunk(thImm) // discard: cold-heap cost
+			chunk(thDef)
+			for c := 0; c < chunks; c++ {
+				if v := chunk(thImm); v < immMin {
+					immMin = v
+				}
+				if v := chunk(thDef); v < defMin {
+					defMin = v
+				}
+			}
+			thImm.Close()
+			thDef.Close()
+			pImm.Close()
+			pDef.Close()
+		}
+		return immMin, defMin
+	}
+	var ratio float64
+	for a := 0; a < attempts; a++ {
+		immMin, defMin := measure()
+		ratio = defMin / immMin
+		t.Logf("attempt %d: %.1f ns/op (deferred) vs %.1f ns/op (immediate) = %.4fx (limit %.2fx, min over %d pairs x %d interleaved chunks of %d ops)",
+			a, defMin, immMin, ratio, maxRatio, pairs, chunks, opsPerChunk)
+		if ratio <= maxRatio {
+			return
+		}
+	}
+	t.Errorf("deferred zeroing is %.4fx of immediate (want <= %.2fx) in %d attempts", ratio, maxRatio, attempts)
+}
