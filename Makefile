@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead governor-overhead governor-gate pause-gate figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead events-overhead governor-overhead governor-gate pause-gate flightrec-smoke figures examples clean
 
 all: build vet test
 
@@ -19,6 +19,8 @@ help:
 	@echo "  bench-gate gate: fresh MallocFree64 + SweepRelease medians within BENCH_GATE_RATIO of their BENCH_*.json"
 	@echo "  bench-all  every benchmark in the repository"
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
+	@echo "  events-overhead     gate: flight-recorder-attached malloc/free within 3% of detached"
+	@echo "  flightrec-smoke     gate: a pressure run writes a flight dump msstat can render + convert"
 	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
 	@echo "  governor-gate       gate: governed peak RSS stays within budget+10% on the pressure ramp"
 	@echo "  pause-gate          gate: p99.9 STW pause on pressure-mt under MS_PAUSE_BOUND_NS (default 2^19 ns)"
@@ -41,14 +43,17 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/control ./internal/workload
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/events ./internal/control ./internal/workload
 
 # The pre-merge gate: static checks, a fast config-validation pass (fails
 # immediately on inconsistent knob combinations like ZeroDeferred with
-# zeroing disabled), then the hot-path race pass.
+# zeroing disabled), the hot-path race pass, then the events-overhead gate
+# (the flight recorder is always-attachable, so its hot-path cost is a
+# merge-blocking property like the race freedom of the paths it instruments).
 check: vet
 	$(GO) test -run '^TestValidate' -count=1 .
 	$(MAKE) race-hot
+	$(MAKE) events-overhead
 
 # One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
 # sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
@@ -98,6 +103,13 @@ bench-gate:
 telemetry-overhead:
 	MS_TELEMETRY_GATE=1 $(GO) test -run '^TestTelemetryOverheadGate$$' -count=1 -v .
 
+# Events-overhead gate: same interleaved protocol, asking what the flight
+# recorder adds on top of an already-telemetered process (its sampled
+# alloc/free events ride telemetry's 1-in-N countdown; the unsampled fast
+# path only gains an atomic pointer load and branch on amortised checks).
+events-overhead:
+	MS_EVENTS_GATE=1 $(GO) test -run '^TestEventsOverheadGate$$' -count=1 -v .
+
 # Governor-overhead gate: the governed malloc/free pair (budget far above any
 # pressure, so the plane is attached but idle) must stay within 3% of the
 # ungoverned run. Same interleaved-chunk protocol as telemetry-overhead —
@@ -123,6 +135,23 @@ MS_PAUSE_BOUND_NS ?= 524288
 pause-gate:
 	MS_PAUSE_GATE=1 MS_PAUSE_BOUND_NS=$(MS_PAUSE_BOUND_NS) $(GO) test -run '^TestPauseTailBound$$' -count=1 -v ./internal/workload
 
+# Flight-recorder smoke: run the pressure ramp under a budget tight enough to
+# drive the governor critical, require an anomaly-triggered dump (not the
+# end-of-run fallback capture), then require msstat to parse the dump,
+# validate its span nesting, render the timeline, and convert it to a Chrome
+# trace that json.tool accepts. The end-to-end acceptance for the events
+# pipeline: emit -> trip -> MSEV encode -> decode -> export.
+FLIGHTREC_TMP ?= /tmp/ms-flightrec-smoke
+flightrec-smoke:
+	$(GO) run ./cmd/msrun -bench pressure -scheme minesweeper -scale 8 -budget 8M \
+		-events-dump $(FLIGHTREC_TMP).msev | tee $(FLIGHTREC_TMP).out
+	grep -Eq 'events: [1-9][0-9]* anomaly' $(FLIGHTREC_TMP).out
+	$(GO) run ./cmd/msstat -events $(FLIGHTREC_TMP).msev -chrome $(FLIGHTREC_TMP)-trace.json \
+		> $(FLIGHTREC_TMP)-timeline.txt
+	grep -q 'flight dump: cause=' $(FLIGHTREC_TMP)-timeline.txt
+	python3 -m json.tool $(FLIGHTREC_TMP)-trace.json > /dev/null
+	@echo "flightrec-smoke: OK ($$(wc -c < $(FLIGHTREC_TMP).msev) byte dump, timeline + chrome trace render)"
+
 # One testing.B target per paper figure plus the API micro-benchmarks.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
@@ -139,6 +168,7 @@ examples:
 	$(GO) run ./examples/fdpoison
 	$(GO) run ./examples/telemetry
 	$(GO) run ./examples/governor
+	$(GO) run ./examples/flightrec
 
 clean:
 	$(GO) clean ./...

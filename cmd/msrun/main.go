@@ -10,17 +10,22 @@
 //	msrun -bench xalancbmk -scheme minesweeper [-compare] [-scale 1] [-reps 1]
 //	msrun -bench xalancbmk -scheme minesweeper -telemetry [-telemetry-json snap.json]
 //	msrun -bench pressure -scheme minesweeper -budget 64M [-governor aimd]
+//	msrun -bench pressure -budget 24M -events-dump flight.msev
+//	msrun -bench espresso -events-addr :8844   # then: msstat -watch -addr :8844
 //	msrun -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"minesweeper/internal/control"
 	"minesweeper/internal/core"
+	"minesweeper/internal/events"
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
 	"minesweeper/internal/telemetry"
@@ -39,6 +44,8 @@ func main() {
 	telemJSON := flag.String("telemetry-json", "", "also write the telemetry snapshot as JSON to this file (implies -telemetry)")
 	budgetFlag := flag.String("budget", "", "resident-memory budget for the adaptive governor, e.g. 64M or 1G (minesweeper schemes only)")
 	governor := flag.String("governor", "", "governor policy: aimd or static (minesweeper schemes only; defaults to aimd when -budget is set)")
+	eventsDump := flag.String("events-dump", "", "attach the flight recorder and write the first anomaly-triggered event dump (MSEV binary) to this file; without an anomaly a manual capture of the run's last window is written instead")
+	eventsAddr := flag.String("events-addr", "", "attach the flight recorder and serve live event state over HTTP at this address during the run (for msstat -watch)")
 	flag.Parse()
 	if *telemJSON != "" {
 		*telem = true
@@ -83,6 +90,18 @@ func main() {
 		reg = telemetry.NewRegistry(telemetry.DefaultRingCap)
 		opts.Telemetry = reg
 	}
+	var rec *events.Recorder
+	if *eventsDump != "" || *eventsAddr != "" {
+		rec = events.NewRecorder(events.DefaultRingCap, events.DefaultWindow)
+		opts.Events = rec
+		if *eventsDump != "" {
+			path := *eventsDump
+			rec.SetSink(func(d *events.Dump) { writeEventDump(path, d) })
+		}
+		if *eventsAddr != "" {
+			serveEvents(*eventsAddr, rec, reg)
+		}
+	}
 
 	if *compare {
 		c, err := workload.Compare(prof, factory, opts, *reps)
@@ -97,6 +116,7 @@ func main() {
 		fmt.Printf("  peak memory   %s\n", metrics.FmtRatio(c.PeakMem))
 		fmt.Printf("  cpu util      %s\n", metrics.FmtRatio(c.CPUUtil))
 		dumpTelemetry(reg, *telemJSON)
+		finishEvents(rec, *eventsDump)
 		return
 	}
 	res, err := workload.Run(prof, factory, opts)
@@ -106,6 +126,55 @@ func main() {
 	}
 	printResult(res, *trace)
 	dumpTelemetry(reg, *telemJSON)
+	finishEvents(rec, *eventsDump)
+}
+
+// writeEventDump persists one flight dump; it is the recorder's sink, so it
+// runs on whatever goroutine tripped the anomaly and must not block long.
+func writeEventDump(path string, d *events.Dump) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrun: events:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := d.WriteTo(f); err != nil {
+		fmt.Fprintln(os.Stderr, "msrun: events: writing dump:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "msrun: events: %s dump (%d events) written to %s\n",
+		d.Cause, d.Len(), path)
+}
+
+// finishEvents reports flight-recorder activity after the run. When a dump
+// file was requested but no anomaly tripped, it writes a manual capture of
+// the run's last window so the flag always yields an inspectable dump.
+func finishEvents(rec *events.Recorder, dumpPath string) {
+	if rec == nil {
+		return
+	}
+	fmt.Printf("\nevents: %d anomaly dump(s) tripped\n", rec.Trips())
+	if dumpPath != "" && rec.Trips() == 0 {
+		writeEventDump(dumpPath, rec.Capture(events.TripManual))
+	}
+}
+
+// serveEvents starts the live event server for msstat -watch. It serves for
+// the duration of the run; msrun exits (and the server with it) once the
+// run's report is printed.
+func serveEvents(addr string, rec *events.Recorder, reg *telemetry.Registry) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msrun: -events-addr:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("events: serving live state on http://%s/events/state\n", ln.Addr())
+	srv := events.NewServer(rec, reg)
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "msrun: events server:", err)
+		}
+	}()
 }
 
 // dumpTelemetry renders the registry's snapshot (sweep records, histograms,

@@ -9,13 +9,21 @@
 //	msstat -in snap.json -json      # normalise/validate: re-emit as JSON
 //	msstat -bench espresso -scheme minesweeper [-scale 8]   # capture + report
 //	msstat -bench pressure -budget 64M [-governor aimd]     # governed capture
+//	msstat -diff old.json new.json  # delta between two snapshots of one run
+//	msstat -events flight.msev [-chrome trace.json]   # render a flight dump
+//	msstat -watch -addr :8844 [-interval 500ms] [-count 10]  # live view
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
+	"minesweeper/internal/events"
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
 	"minesweeper/internal/telemetry"
@@ -30,7 +38,30 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of text")
 	budgetFlag := flag.String("budget", "", "resident-memory budget for the adaptive governor, e.g. 64M (minesweeper schemes only)")
 	governor := flag.String("governor", "", "governor policy: aimd or static (defaults to aimd when -budget is set)")
+	diff := flag.String("diff", "", "diff two telemetry snapshots: -diff old.json new.json (the second file is the positional argument)")
+	eventsIn := flag.String("events", "", "render a flight-recorder dump (.msev) as a text timeline")
+	chromeOut := flag.String("chrome", "", "with -events: also convert the dump to Chrome trace-event JSON at this path (chrome://tracing, Perfetto)")
+	watch := flag.Bool("watch", false, "poll a live msrun -events-addr server and render a refreshing view")
+	addr := flag.String("addr", "127.0.0.1:8844", "server address for -watch (host:port or full URL)")
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
+	count := flag.Int("count", 0, "number of polls for -watch (0 = until the server goes away)")
 	flag.Parse()
+
+	switch {
+	case *eventsIn != "":
+		renderFlightDump(*eventsIn, *chromeOut)
+		return
+	case *watch:
+		watchEvents(*addr, *interval, *count)
+		return
+	case *diff != "":
+		newer := flag.Arg(0)
+		if newer == "" {
+			fatal(fmt.Errorf("-diff needs the second snapshot as a positional argument: msstat -diff old.json new.json"))
+		}
+		diffSnapshots(*diff, newer)
+		return
+	}
 
 	if *in != "" && (*budgetFlag != "" || *governor != "") {
 		fatal(fmt.Errorf("-budget/-governor only apply when running a profile with -bench, not with -in"))
@@ -103,6 +134,194 @@ func schemeFor(name string) (schemes.Factory, bool) {
 		}
 	}
 	return schemes.Factory{}, false
+}
+
+// renderFlightDump reads an MSEV flight dump, checks its sweep spans nest
+// correctly, renders the merged timeline, and optionally converts it to a
+// Chrome trace file.
+func renderFlightDump(path, chromePath string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	d, _, err := events.ReadDump(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("reading %s: %w", path, err))
+	}
+	if err := events.ValidateSpans(d); err != nil {
+		fatal(fmt.Errorf("%s: malformed spans: %w", path, err))
+	}
+	if err := events.WriteTimeline(os.Stdout, d); err != nil {
+		fatal(err)
+	}
+	if chromePath == "" {
+		return
+	}
+	cf, err := os.Create(chromePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer cf.Close()
+	if err := events.WriteChromeTrace(cf, d); err != nil {
+		fatal(fmt.Errorf("writing %s: %w", chromePath, err))
+	}
+	fmt.Printf("\nchrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", chromePath)
+}
+
+// watchEvents polls an msrun -events-addr server and prints one status line
+// per tick: pressure level, in-flight sweep phase, recent pauses, and the
+// volume of fresh events since the previous tick. It exits cleanly when the
+// server goes away (the run ended), and fails only if the very first poll
+// cannot connect.
+func watchEvents(addr string, interval time.Duration, count int) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimRight(addr, "/") + "/events/state"
+	var after uint64
+	for tick := 0; count == 0 || tick < count; tick++ {
+		if tick > 0 {
+			time.Sleep(interval)
+		}
+		st, err := fetchState(fmt.Sprintf("%s?after=%d", url, after))
+		if err != nil {
+			if tick == 0 {
+				fatal(fmt.Errorf("connecting to %s: %w", url, err))
+			}
+			fmt.Println("msstat: server gone (run finished)")
+			return
+		}
+		fresh := 0
+		for _, b := range st.Batches {
+			fresh += len(b.Events)
+			for _, e := range b.Events {
+				if e.Nanos > after {
+					after = e.Nanos
+				}
+			}
+		}
+		fmt.Println(formatState(st, fresh))
+	}
+}
+
+// fetchState does one /events/state poll.
+func fetchState(url string) (events.State, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return events.State{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return events.State{}, fmt.Errorf("server returned %s", resp.Status)
+	}
+	var st events.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return events.State{}, err
+	}
+	return st, nil
+}
+
+// formatState renders one -watch tick as a single line.
+func formatState(st events.State, fresh int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "+%-9s", time.Duration(st.NowNanos).Round(time.Millisecond))
+	if st.Level != "" {
+		fmt.Fprintf(&sb, " level=%-8s", st.Level)
+	}
+	phase := st.Phase
+	if phase == "" {
+		phase = "idle"
+	}
+	fmt.Fprintf(&sb, " sweep=%-8s sweeps=%-4d trips=%d new-events=%d", phase, st.SweepsTotal, st.Trips, fresh)
+	if n := len(st.RecentPauses); n > 0 {
+		show := st.RecentPauses
+		if n > 3 {
+			show = show[n-3:]
+		}
+		parts := make([]string, 0, len(show))
+		for _, p := range show {
+			parts = append(parts, fmt.Sprintf("%s %s", p.Kind, time.Duration(p.Nanos)))
+		}
+		fmt.Fprintf(&sb, "  pauses: %s", strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+// diffSnapshots renders the delta between two telemetry snapshots of the
+// same registry: interval, sweep progress, histogram count/latency movement,
+// and gauge movement. Snapshot order is fixed up via CapturedAtNanos, so the
+// arguments can be given either way round.
+func diffSnapshots(oldPath, newPath string) {
+	a, err := readSnapshotFile(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := readSnapshotFile(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if b.CapturedAtNanos < a.CapturedAtNanos {
+		a, b = b, a
+		oldPath, newPath = newPath, oldPath
+	}
+	dt := time.Duration(b.CapturedAtNanos - a.CapturedAtNanos)
+	secs := dt.Seconds()
+	fmt.Printf("diff %s -> %s\n", oldPath, newPath)
+	fmt.Printf("interval: %s (sweep seq %d -> %d)\n", dt.Round(time.Millisecond), a.SweepSeq, b.SweepSeq)
+	rate := ""
+	if secs > 0 {
+		rate = fmt.Sprintf(" (%.1f/s)", float64(b.SweepsTotal-a.SweepsTotal)/secs)
+	}
+	fmt.Printf("sweeps: %d -> %d, +%d%s\n", a.SweepsTotal, b.SweepsTotal, b.SweepsTotal-a.SweepsTotal, rate)
+
+	old := make(map[string]telemetry.HistogramSnapshot, len(a.Histograms))
+	for _, h := range a.Histograms {
+		old[h.Name] = h
+	}
+	tb := metrics.NewTable("histogram", "count", "+count", "rate/s", "p99(new)")
+	for _, h := range b.Histograms {
+		prev := old[h.Name]
+		delta := int64(h.Count) - int64(prev.Count)
+		r := "-"
+		if secs > 0 {
+			r = fmt.Sprintf("%.1f", float64(delta)/secs)
+		}
+		p99 := "-"
+		if h.Count > 0 {
+			p99 = "<" + time.Duration(h.Quantile(0.99)).String()
+		}
+		tb.AddRow(h.Name, fmt.Sprint(h.Count), fmt.Sprintf("%+d", delta), r, p99)
+	}
+	fmt.Print("\n" + tb.String())
+
+	oldG := make(map[string]uint64, len(a.Gauges))
+	for _, g := range a.Gauges {
+		oldG[g.Name] = g.Value
+	}
+	if len(b.Gauges) > 0 {
+		tb := metrics.NewTable("gauge", "old", "new", "delta")
+		for _, g := range b.Gauges {
+			prev := oldG[g.Name]
+			tb.AddRow(g.Name, fmt.Sprint(prev), fmt.Sprint(g.Value),
+				fmt.Sprintf("%+d", int64(g.Value)-int64(prev)))
+		}
+		fmt.Print("\n" + tb.String())
+	}
+}
+
+// readSnapshotFile loads one telemetry snapshot JSON file.
+func readSnapshotFile(path string) (telemetry.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	defer f.Close()
+	s, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		return telemetry.Snapshot{}, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return s, nil
 }
 
 func fatal(err error) {

@@ -35,6 +35,7 @@ import (
 
 	"minesweeper/internal/alloc"
 	"minesweeper/internal/control"
+	"minesweeper/internal/events"
 	"minesweeper/internal/jemalloc"
 	"minesweeper/internal/mem"
 	"minesweeper/internal/quarantine"
@@ -314,13 +315,29 @@ type threadState struct {
 	// and rearms from the current sample period. Owner-thread only.
 	telMallocs uint64
 	telFrees   uint64
+	// evRing is this thread's flight-recorder ring (nil when events are
+	// detached). Loaded only on already-amortised or already-sampled paths
+	// — drains, pauses, the telemetry-sampled op — never on the bare hot
+	// path.
+	evRing atomic.Pointer[events.Ring]
 }
 
 // lockedDrain publishes the ring to the global quarantine under the drain
-// lock; every Drain call site uses it (see drainMu).
+// lock; every Drain call site uses it (see drainMu). With events attached,
+// each non-empty drain emits one KindDrain (entries, drain ns) on the
+// thread's ring — emitted by whichever goroutine drains, the owner at its
+// tick or the sweeper inside its quiesce (the rings tolerate that foreign
+// writer).
 func (ts *threadState) lockedDrain() {
 	ts.drainMu.Lock()
-	ts.tbuf.Drain()
+	if rg := ts.evRing.Load(); rg != nil && ts.tbuf.Len() > 0 {
+		n := uint64(ts.tbuf.Len())
+		start := time.Now()
+		ts.tbuf.Drain()
+		rg.Emit(events.KindDrain, n, uint64(time.Since(start)))
+	} else {
+		ts.tbuf.Drain()
+	}
 	ts.drainMu.Unlock()
 }
 
@@ -391,6 +408,15 @@ type Heap struct {
 	// drainHist samples ring-drain latency when telemetry is attached
 	// (registered by SetTelemetry; nil otherwise).
 	drainHist atomic.Pointer[telemetry.Histogram]
+
+	// Flight recorder (internal/events). evt is nil when detached — the
+	// same one-pointer-load-and-branch discipline as tel. evtSweep caches
+	// the sweeper's ring; evLevel remembers the last governor level the
+	// sweeper saw (guarded by sweepMu) so level transitions become events
+	// and entering Critical trips a flight dump.
+	evt      atomic.Pointer[events.Recorder]
+	evtSweep atomic.Pointer[events.Ring]
+	evLevel  control.Level
 }
 
 var _ alloc.Allocator = (*Heap)(nil)
@@ -564,6 +590,49 @@ func (h *Heap) SetTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// SetEvents attaches (or, with nil, detaches) a flight-recorder. Safe to
+// call at any time: instrumented paths read the recorder and rings through
+// atomic pointers, exactly like SetTelemetry. Attaching creates the
+// sweeper's ring plus one ring per registered thread; threads registered
+// later get theirs in RegisterThread.
+func (h *Heap) SetEvents(rec *events.Recorder) {
+	if rec == nil {
+		h.evt.Store(nil)
+		h.evtSweep.Store(nil)
+		for _, ts := range *h.threads.Load() {
+			if ts != nil {
+				ts.evRing.Store(nil)
+			}
+		}
+		return
+	}
+	h.evtSweep.Store(rec.Ring("sweeper"))
+	h.threadMu.Lock()
+	for i, ts := range *h.threads.Load() {
+		if ts != nil {
+			ts.evRing.Store(rec.Ring(fmt.Sprintf("thread-%d", i)))
+		}
+	}
+	h.threadMu.Unlock()
+	h.evt.Store(rec)
+}
+
+// Events returns the attached flight-recorder, or nil.
+func (h *Heap) Events() *events.Recorder { return h.evt.Load() }
+
+// tripFlight fires the flight recorder for cause; if the trip is accepted
+// (rate limit, sink attached), a KindTrip instant lands on the sweeper ring
+// so later dumps and the live view show when dumps were taken.
+func (h *Heap) tripFlight(cause events.TripCause) {
+	rec := h.evt.Load()
+	if rec == nil || !rec.Trip(cause) {
+		return
+	}
+	if rg := h.evtSweep.Load(); rg != nil {
+		rg.Emit(events.KindTrip, uint64(cause), 0)
+	}
+}
+
 // msHooks wraps the default extent hooks with MineSweeper's unmapped-page
 // bookkeeping (§4.5): decommit marks pages in the shadow bitmap and commit
 // clears them and restores access.
@@ -662,6 +731,9 @@ func (h *Heap) RegisterThread() alloc.ThreadID {
 	if h.cfg.Zeroing && h.cfg.ZeroMode == ZeroDeferred {
 		ts.tbuf.SetZeroHook(h.ringZeroHook(ts))
 	}
+	if rec := h.evt.Load(); rec != nil {
+		ts.evRing.Store(rec.Ring(fmt.Sprintf("thread-%d", len(old))))
+	}
 	nw[len(old)] = ts
 	h.threads.Store(&nw)
 	return alloc.ThreadID(len(old))
@@ -713,6 +785,9 @@ func (h *Heap) ringZeroHook(ts *threadState) func([]*quarantine.Entry) {
 		}
 		_ = h.space.ZeroBatch(runs)
 		h.deferredZeroBytes.Add(bytes)
+		if rg := ts.evRing.Load(); rg != nil {
+			rg.Emit(events.KindZeroScrub, uint64(len(runs)), bytes)
+		}
 	}
 }
 
@@ -780,7 +855,13 @@ func (h *Heap) Malloc(tid alloc.ThreadID, size uint64) (uint64, error) {
 		ts.telMallocs = tel.SamplePeriod()
 		start := time.Now()
 		a, err := h.malloc(tid, ts, size)
-		tel.Malloc.RecordShard(int(tid), uint64(time.Since(start)))
+		lat := uint64(time.Since(start))
+		tel.Malloc.RecordShard(int(tid), lat)
+		// GWP-ASan-style sampled op event, riding the same countdown tick:
+		// the unsampled hot path never sees the events layer.
+		if rg := ts.evRing.Load(); rg != nil {
+			rg.Emit(events.KindAlloc, size, lat)
+		}
 		return a, err
 	}
 	return h.malloc(tid, ts, size)
@@ -851,8 +932,15 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		// Flush our buffer so our frees are sweepable, then wait for a
 		// sweep to finish. While waiting, the thread is quiescent: it
 		// must not block a mostly-concurrent stop-the-world.
-		if ts := h.threadState(tid); ts != nil {
+		ts := h.threadState(tid)
+		if ts != nil {
 			ts.lockedDrain()
+		}
+		var rg *events.Ring
+		if ts != nil {
+			if rg = ts.evRing.Load(); rg != nil {
+				rg.Emit(events.KindPauseBegin, uint64(reason), 0)
+			}
 		}
 		start := time.Now()
 		qz, _ := h.cfg.World.(quiescer)
@@ -874,6 +962,9 @@ func (h *Heap) maybePause(tid alloc.ThreadID) {
 		h.pauseNanos.Add(int64(stall))
 		if tel := h.tel.Load(); tel != nil {
 			tel.Pause.Record(uint64(stall))
+		}
+		if rg != nil {
+			rg.Emit(events.KindPauseEnd, uint64(stall), 0)
 		}
 	}
 }
@@ -906,7 +997,16 @@ func (h *Heap) Free(tid alloc.ThreadID, addr uint64) error {
 		ts.telFrees = tel.SamplePeriod()
 		start := time.Now()
 		err := h.free(tid, ts, addr)
-		tel.Free.RecordShard(int(tid), uint64(time.Since(start)))
+		lat := uint64(time.Since(start))
+		tel.Free.RecordShard(int(tid), lat)
+		if rg := ts.evRing.Load(); rg != nil {
+			// Sampled free; size 0 when the address did not resolve.
+			var size uint64
+			if a, _, ok := h.sub.Resolve(addr); ok {
+				size = a.Size
+			}
+			rg.Emit(events.KindFree, size, lat)
+		}
 		return err
 	}
 	return h.free(tid, ts, addr)
@@ -1248,14 +1348,20 @@ func (h *Heap) recordStw(rec *telemetry.SweepRecord, tel *telemetry.Registry, d 
 //  4. Stop-the-world re-scan: quiesce thread rings and visit only the pages
 //     still dirty. The pause scales with the mutators' residual write rate,
 //     not heap size.
-func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
+func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry, er *events.Ring) {
 	if h.cfg.Mode != MostlyConcurrent {
+		if er != nil {
+			er.Emit(events.KindMarkBegin, 0, 0)
+		}
 		ps := h.sw.MarkAllStats()
 		rec.MarkNanos = ps.ElapsedNanos
 		rec.PagesScanned = ps.PagesScanned
 		rec.BytesScanned = ps.BytesScanned
 		rec.BytesZeroSkipped = ps.ZeroSkippedBytes
 		rec.PagesKnownZero = ps.KnownZeroPages
+		if er != nil {
+			er.Emit(events.KindMarkEnd, ps.PagesScanned, ps.BytesScanned)
+		}
 		return
 	}
 	if !h.cfg.ConcurrentMark {
@@ -1264,15 +1370,28 @@ func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
 		// same-window A/B against the pipelined path.
 		start := time.Now()
 		h.stopWorld()
+		if er != nil {
+			er.Emit(events.KindStwBegin, 0, 0)
+			er.Emit(events.KindMarkBegin, 0, 0)
+		}
 		ps := h.sw.MarkAllStats()
 		rec.MarkNanos = ps.ElapsedNanos
 		rec.PagesScanned = ps.PagesScanned
 		rec.BytesScanned = ps.BytesScanned
 		rec.BytesZeroSkipped = ps.ZeroSkippedBytes
 		rec.PagesKnownZero = ps.KnownZeroPages
+		if er != nil {
+			er.Emit(events.KindMarkEnd, ps.PagesScanned, ps.BytesScanned)
+			er.Emit(events.KindStwEnd, 0, 0)
+		}
 		h.startWorld()
 		h.recordStw(rec, tel, time.Since(start))
 		return
+	}
+	// The mark span covers the whole pipeline — concurrent full-heap pass,
+	// pre-clean rounds, and the STW re-scan nest inside it.
+	if er != nil {
+		er.Emit(events.KindMarkBegin, 0, 0)
 	}
 	h.space.ClearSoftDirty()
 	ps := h.sw.MarkAllStats()
@@ -1281,7 +1400,10 @@ func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
 	rec.BytesScanned = ps.BytesScanned
 	rec.BytesZeroSkipped = ps.ZeroSkippedBytes
 	rec.PagesKnownZero = ps.KnownZeroPages
-	h.finishPipelinedMark(rec, tel)
+	h.finishPipelinedMark(rec, tel, er)
+	if er != nil {
+		er.Emit(events.KindMarkEnd, rec.PagesScanned, rec.BytesScanned)
+	}
 }
 
 // finishPipelinedMark runs stages 3 and 4 of the pipeline — the concurrent
@@ -1302,7 +1424,7 @@ func (h *Heap) markPhase(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
 // aborted window was still a real pause for the mutators, so it is recorded
 // in the stw histogram like any other. The final attempt scans
 // unconditionally, keeping termination guaranteed.
-func (h *Heap) finishPipelinedMark(rec *telemetry.SweepRecord, tel *telemetry.Registry) {
+func (h *Heap) finishPipelinedMark(rec *telemetry.SweepRecord, tel *telemetry.Registry, er *events.Ring) {
 	budget := h.knobs().RescanBudgetPages
 	if budget > 0 {
 		t0 := time.Now()
@@ -1310,25 +1432,51 @@ func (h *Heap) finishPipelinedMark(rec *telemetry.SweepRecord, tel *telemetry.Re
 			if h.sw.CountDirtyPages() <= uint64(budget) {
 				break
 			}
+			if er != nil {
+				er.Emit(events.KindPrecleanBegin, uint64(round), 0)
+			}
 			cp := h.sw.MarkDirtyClearStats()
 			rec.PrecleanPages += cp.PagesScanned
 			rec.PagesScanned += cp.PagesScanned
 			rec.BytesScanned += cp.BytesScanned
 			rec.BytesZeroSkipped += cp.ZeroSkippedBytes
+			if er != nil {
+				er.Emit(events.KindPrecleanEnd, cp.PagesScanned, uint64(round))
+			}
 		}
 		rec.PrecleanNanos = time.Since(t0).Nanoseconds()
 	}
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
 		h.stopWorld()
-		if budget > 0 && attempt < maxStopRetries && h.sw.CountDirtyPages() > uint64(budget) {
+		// The frozen dirty count: needed by the abort check, and the
+		// events layer stamps it on the stw span (the popcount is
+		// O(pages/64), nothing next to the stop itself).
+		var dirty uint64
+		if er != nil || (budget > 0 && attempt < maxStopRetries) {
+			dirty = h.sw.CountDirtyPages()
+		}
+		if er != nil {
+			er.Emit(events.KindStwBegin, dirty, 0)
+		}
+		if budget > 0 && attempt < maxStopRetries && dirty > uint64(budget) {
+			if er != nil {
+				er.Emit(events.KindStwAbort, dirty, uint64(budget))
+				er.Emit(events.KindStwEnd, dirty, 0)
+			}
 			h.startWorld()
 			h.recordStw(rec, tel, time.Since(start))
+			if er != nil {
+				er.Emit(events.KindPrecleanBegin, uint64(maxPreCleanRounds+attempt), 0)
+			}
 			cp := h.sw.MarkDirtyClearStats()
 			rec.PrecleanPages += cp.PagesScanned
 			rec.PagesScanned += cp.PagesScanned
 			rec.BytesScanned += cp.BytesScanned
 			rec.BytesZeroSkipped += cp.ZeroSkippedBytes
+			if er != nil {
+				er.Emit(events.KindPrecleanEnd, cp.PagesScanned, uint64(maxPreCleanRounds+attempt))
+			}
 			continue
 		}
 		dp := h.sw.MarkDirtyStats()
@@ -1336,8 +1484,18 @@ func (h *Heap) finishPipelinedMark(rec *telemetry.SweepRecord, tel *telemetry.Re
 		rec.PagesScanned += dp.PagesScanned
 		rec.BytesScanned += dp.BytesScanned
 		rec.BytesZeroSkipped += dp.ZeroSkippedBytes
+		if er != nil {
+			er.Emit(events.KindStwEnd, dp.PagesScanned, 0)
+		}
 		h.startWorld()
 		h.recordStw(rec, tel, time.Since(start))
+		// The anomaly the pipeline exists to prevent: the final attempt had
+		// to scan an over-budget dirty set inside the pause. Trip the
+		// flight recorder (after the world restarts — never extend the
+		// pause for a dump).
+		if budget > 0 && dp.PagesScanned > uint64(budget) {
+			h.tripFlight(events.TripStwOverBudget)
+		}
 		return
 	}
 }
@@ -1352,6 +1510,7 @@ func (h *Heap) runSweep() {
 	defer h.sweepMu.Unlock()
 
 	tel := h.tel.Load()
+	er := h.evtSweep.Load()
 	reason := h.takeTrigger()
 	sel := h.selectShards(reason)
 	locked := h.q.LockInSelected(sel)
@@ -1364,17 +1523,26 @@ func (h *Heap) runSweep() {
 			Workers:       h.sw.Workers(),
 			ShardsSwept:   countShards(sel, h.q.NumShards()),
 		}
+		if er != nil {
+			er.Emit(events.KindSweepBegin, uint64(reason), uint64(len(locked)))
+		}
 		var sweepStart, t0 time.Time
 		if tel != nil || h.ctl != nil {
 			sweepStart = time.Now()
 		}
 		if h.cfg.Sweeping {
-			h.markPhase(&rec, tel)
+			h.markPhase(&rec, tel, er)
 		}
 		if tel != nil {
 			t0 = time.Now()
 		}
+		if er != nil {
+			er.Emit(events.KindRecycleBegin, 0, 0)
+		}
 		rec.Released, rec.Retained = h.filterAndRecycle(locked)
+		if er != nil {
+			er.Emit(events.KindRecycleEnd, rec.Released, rec.Retained)
+		}
 		if tel != nil {
 			rec.RecycleNanos = time.Since(t0).Nanoseconds()
 		}
@@ -1385,7 +1553,13 @@ func (h *Heap) runSweep() {
 			if tel != nil {
 				t0 = time.Now()
 			}
+			if er != nil {
+				er.Emit(events.KindPurgeBegin, 0, 0)
+			}
 			h.sub.PurgeAll()
+			if er != nil {
+				er.Emit(events.KindPurgeEnd, 0, 0)
+			}
 			if tel != nil {
 				rec.PurgeNanos = time.Since(t0).Nanoseconds()
 			}
@@ -1396,6 +1570,9 @@ func (h *Heap) runSweep() {
 		}
 		if tel != nil {
 			tel.ObserveSweep(rec)
+		}
+		if er != nil {
+			er.Emit(events.KindSweepEnd, rec.Released, rec.Retained)
 		}
 		obsNanos = rec.TotalNanos
 		obsReleased, obsRetained = rec.Released, rec.Retained
@@ -1430,6 +1607,22 @@ func (h *Heap) observeAndSteer(sweepNanos int64, released, retained uint64) {
 		Retained:         retained,
 	}
 	d, changed := h.ctl.Observe(in)
+	// Events + flight triggers before the early-outs: level transitions are
+	// events even when the knobs held still, entering Critical trips a
+	// flight dump, and so does resident memory over the governed budget
+	// (both evaluated here, the sweep boundary — the single writer).
+	if lvl := h.ctl.Level(); lvl != h.evLevel {
+		if er := h.evtSweep.Load(); er != nil {
+			er.Emit(events.KindGovDecision, uint64(lvl), uint64(h.evLevel))
+		}
+		if lvl == control.Critical {
+			h.tripFlight(events.TripGovernorCritical)
+		}
+		h.evLevel = lvl
+	}
+	if b := h.ctl.Budget(); b > 0 && in.RSS > b {
+		h.tripFlight(events.TripBudgetRSS)
+	}
 	if !changed {
 		return
 	}

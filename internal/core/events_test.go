@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"minesweeper/internal/events"
+	"minesweeper/internal/mem"
+	"minesweeper/internal/telemetry"
+)
+
+// TestEventsRealSweepNests attaches a flight recorder, runs a real sweep
+// over real frees, and checks the emitted stream: the sweeper ring holds a
+// correctly nested sweep span (ValidateSpans, the same check the Chrome
+// exporter's consumers rely on) with the expected begin/end payloads, and
+// the mutator ring saw its drains and sampled ops.
+func TestEventsRealSweepNests(t *testing.T) {
+	cfg := testConfig()
+	cfg.Telemetry = telemetry.NewRegistry(16)
+	cfg.Telemetry.SetSamplePeriod(1) // sample every op: alloc/free events for all
+	h, tid := newTestHeap(t, cfg)
+
+	rec := events.NewRecorder(256, time.Minute)
+	h.SetEvents(rec)
+
+	var addrs []uint64
+	for i := 0; i < 40; i++ {
+		a, err := h.Malloc(tid, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := h.Free(tid, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Sweep()
+
+	d := rec.Capture(events.TripManual)
+	if err := events.ValidateSpans(d); err != nil {
+		t.Fatalf("real sweep emitted malformed spans: %v", err)
+	}
+
+	counts := map[events.Kind]int{}
+	var sweepBegin, sweepEnd events.Event
+	for _, tr := range d.Threads {
+		for _, e := range tr.Events {
+			counts[e.Kind]++
+			switch e.Kind {
+			case events.KindSweepBegin:
+				sweepBegin = e
+			case events.KindSweepEnd:
+				sweepEnd = e
+			}
+		}
+	}
+	if counts[events.KindSweepBegin] != 1 || counts[events.KindSweepEnd] != 1 {
+		t.Fatalf("sweep span count = %d/%d, want 1/1", counts[events.KindSweepBegin], counts[events.KindSweepEnd])
+	}
+	if sweepBegin.Arg1 != 40 {
+		t.Errorf("SweepBegin entries locked = %d, want 40", sweepBegin.Arg1)
+	}
+	if sweepEnd.Arg0 != 40 || sweepEnd.Arg1 != 0 {
+		t.Errorf("SweepEnd released/retained = %d/%d, want 40/0", sweepEnd.Arg0, sweepEnd.Arg1)
+	}
+	if counts[events.KindMarkBegin] != 1 || counts[events.KindMarkEnd] != 1 {
+		t.Errorf("mark span count = %d/%d, want 1/1", counts[events.KindMarkBegin], counts[events.KindMarkEnd])
+	}
+	if counts[events.KindRecycleBegin] != 1 || counts[events.KindPurgeBegin] != 1 {
+		t.Errorf("recycle/purge begins = %d/%d, want 1/1", counts[events.KindRecycleBegin], counts[events.KindPurgeBegin])
+	}
+	if counts[events.KindAlloc] != 40 || counts[events.KindFree] != 40 {
+		t.Errorf("sampled alloc/free = %d/%d, want 40/40 at period 1", counts[events.KindAlloc], counts[events.KindFree])
+	}
+	if counts[events.KindDrain] == 0 {
+		t.Error("no drain events (BufferCap=1 drains on every free)")
+	}
+
+	// Detach: hot paths must stop emitting.
+	h.SetEvents(nil)
+	a, _ := h.Malloc(tid, 64)
+	_ = h.Free(tid, a)
+	h.Sweep()
+	d2 := rec.Capture(events.TripManual)
+	if d2.Len() != d.Len() {
+		t.Errorf("events emitted after detach: %d -> %d", d.Len(), d2.Len())
+	}
+}
+
+// dirtyOnStopWorld is a StopTheWorld stub whose Stop() dirties several pages
+// — the writes land at the head of every stop-the-world window, so with a
+// one-page budget every stop freezes an over-budget dirty set and the pause
+// aborts until the retries run out.
+type dirtyOnStopWorld struct {
+	space *mem.AddressSpace
+	addr  uint64
+	pages uint64
+}
+
+func (w *dirtyOnStopWorld) Stop() {
+	if w.addr == 0 {
+		return
+	}
+	for i := uint64(0); i < w.pages; i++ {
+		if err := w.space.Store64(w.addr+i*mem.PageSize, i+1); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (w *dirtyOnStopWorld) Start() {}
+
+// TestEventsStwSpansAndOverBudgetTrip drives the pipelined mark with a tiny
+// re-scan budget against a world that re-dirties pages inside every stop, so
+// both retries abort and the final STW window proceeds over budget — and
+// checks the stw/abort events and the TripStwOverBudget flight dump.
+func TestEventsStwSpansAndOverBudgetTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mode = MostlyConcurrent
+	cfg.ConcurrentMark = true
+	cfg.RescanBudgetPages = 1
+	w := &dirtyOnStopWorld{pages: 4}
+	cfg.World = w
+	h, tid := newTestHeap(t, cfg)
+	w.space = h.space
+
+	rec := events.NewRecorder(256, time.Minute)
+	h.SetEvents(rec)
+	var dumps []*events.Dump
+	rec.SetSink(func(d *events.Dump) { dumps = append(dumps, d) })
+
+	region, err := h.Malloc(tid, 4*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.addr = region
+	a, _ := h.Malloc(tid, 48)
+	if err := h.Free(tid, a); err != nil {
+		t.Fatal(err)
+	}
+	h.Sweep()
+
+	d := rec.Capture(events.TripManual)
+	if err := events.ValidateSpans(d); err != nil {
+		t.Fatalf("pipelined sweep emitted malformed spans: %v", err)
+	}
+	counts := map[events.Kind]int{}
+	for _, tr := range d.Threads {
+		for _, e := range tr.Events {
+			counts[e.Kind]++
+		}
+	}
+	if counts[events.KindStwBegin] == 0 || counts[events.KindStwBegin] != counts[events.KindStwEnd] {
+		t.Fatalf("stw begin/end = %d/%d", counts[events.KindStwBegin], counts[events.KindStwEnd])
+	}
+	if counts[events.KindStwAbort] != maxStopRetries {
+		t.Errorf("stw aborts = %d, want %d (budget 1 forces every retry)", counts[events.KindStwAbort], maxStopRetries)
+	}
+	if counts[events.KindPrecleanBegin] != maxStopRetries {
+		t.Errorf("abort-recovery preclean rounds = %d, want %d", counts[events.KindPrecleanBegin], maxStopRetries)
+	}
+	if len(dumps) != 1 || dumps[0].Cause != events.TripStwOverBudget {
+		t.Fatalf("dumps = %+v, want one stw-over-budget dump", dumps)
+	}
+	if counts[events.KindTrip] != 1 {
+		t.Errorf("trip events = %d, want 1", counts[events.KindTrip])
+	}
+}

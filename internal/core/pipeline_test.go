@@ -286,7 +286,7 @@ func TestPrecleanRoundsConsumeDirtyPages(t *testing.T) {
 	}
 	var rec telemetry.SweepRecord
 	h.sweepMu.Lock()
-	h.finishPipelinedMark(&rec, nil)
+	h.finishPipelinedMark(&rec, nil, nil)
 	h.sweepMu.Unlock()
 	if rec.PrecleanPages != 3 {
 		t.Errorf("PrecleanPages = %d, want 3 (one round over the budget consumes the set)", rec.PrecleanPages)

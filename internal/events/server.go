@@ -1,0 +1,176 @@
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"minesweeper/internal/telemetry"
+)
+
+// Server exposes a recorder (and optionally the telemetry registry) over
+// HTTP for live watching: msrun -events-addr serves it, msstat -watch polls
+// it. Endpoints:
+//
+//	GET /events/state?after=N  incremental JSON: events with Nanos > N plus
+//	                           a live summary (pressure level, in-flight
+//	                           sweep phase, recent pauses)
+//	GET /events/dump           the current window as a binary flight dump
+//	GET /events/trace.json     the current window as a Chrome trace
+type Server struct {
+	rec *Recorder
+	reg *telemetry.Registry // may be nil
+}
+
+// NewServer returns a server over rec; reg may be nil (no governor/sweep
+// summary in states).
+func NewServer(rec *Recorder, reg *telemetry.Registry) *Server {
+	return &Server{rec: rec, reg: reg}
+}
+
+// PauseInfo is one recent mutator-visible pause (STW window or §5.7
+// allocation pause) in a State.
+type PauseInfo struct {
+	Kind    string `json:"kind"` // "stw" or "pause"
+	AtNanos uint64 `json:"at_ns"`
+	Nanos   uint64 `json:"ns"`
+}
+
+// RingBatch is one ring's incremental events in a State.
+type RingBatch struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// State is the live-view payload msstat -watch renders.
+type State struct {
+	NowNanos uint64 `json:"now_ns"`
+	// Level is the governor's pressure level ("" when ungoverned).
+	Level string `json:"level,omitempty"`
+	// SweepsTotal mirrors the telemetry sweep counter (0 without a
+	// registry).
+	SweepsTotal uint64 `json:"sweeps_total"`
+	// Phase is the sweep phase currently open on the sweeper ring (""
+	// when idle).
+	Phase string `json:"phase,omitempty"`
+	// RecentPauses lists the last STW windows and allocation pauses in
+	// the flight window, newest last.
+	RecentPauses []PauseInfo `json:"recent_pauses,omitempty"`
+	// Trips counts accepted flight-recorder dumps so far.
+	Trips uint64 `json:"trips"`
+	// Batches carries each ring's events after the caller's cutoff.
+	Batches []RingBatch `json:"batches,omitempty"`
+}
+
+// StateSince assembles the live view: events with Nanos > after, plus the
+// summary derived from the last window.
+func (s *Server) StateSince(after uint64) State {
+	st := State{NowNanos: s.rec.Now(), Trips: s.rec.Trips()}
+	if s.reg != nil {
+		st.SweepsTotal = s.reg.Ring().Total()
+		if g := s.reg.Governor(); g != nil {
+			st.Level = g.Level().String()
+		}
+	}
+	window := uint64(0)
+	if w := uint64(s.rec.Window()); st.NowNanos > w {
+		window = st.NowNanos - w
+	}
+	for _, rg := range s.rec.Rings() {
+		ev := rg.Snapshot(nil, window)
+		// Pause summary and in-flight phase come from the whole window;
+		// the batch returned to the caller is only what is new to them.
+		var openSpans []Event
+		for _, e := range ev {
+			switch {
+			case spanOpen(e.Kind) != 0:
+				openSpans = append(openSpans, e)
+			case isEnd(e.Kind):
+				if n := len(openSpans); n > 0 && spanOpen(openSpans[n-1].Kind) == e.Kind {
+					b := openSpans[n-1]
+					openSpans = openSpans[:n-1]
+					switch e.Kind {
+					case KindStwEnd:
+						st.RecentPauses = append(st.RecentPauses,
+							PauseInfo{Kind: "stw", AtNanos: b.Nanos, Nanos: e.Nanos - b.Nanos})
+					case KindPauseEnd:
+						st.RecentPauses = append(st.RecentPauses,
+							PauseInfo{Kind: "pause", AtNanos: b.Nanos, Nanos: e.Arg0})
+					}
+				}
+			}
+		}
+		if rg.Name() == "sweeper" {
+			for _, e := range openSpans {
+				if e.Kind != KindPauseBegin {
+					st.Phase = spanName(e.Kind)
+				}
+			}
+		}
+		if after < window {
+			after = window
+		}
+		batch := make([]Event, 0, len(ev))
+		for _, e := range ev {
+			if e.Nanos > after {
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) > 0 {
+			st.Batches = append(st.Batches, RingBatch{Name: rg.Name(), Events: batch})
+		}
+	}
+	sortPauses(st.RecentPauses)
+	const keep = 16
+	if len(st.RecentPauses) > keep {
+		st.RecentPauses = st.RecentPauses[len(st.RecentPauses)-keep:]
+	}
+	return st
+}
+
+func sortPauses(ps []PauseInfo) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].AtNanos < ps[j-1].AtNanos; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Handler returns the HTTP mux serving the endpoints above.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events/state", func(w http.ResponseWriter, r *http.Request) {
+		after := uint64(0)
+		if v := r.URL.Query().Get("after"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad after", http.StatusBadRequest)
+				return
+			}
+			after = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.StateSince(after)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events/dump", func(w http.ResponseWriter, r *http.Request) {
+		d := s.rec.Capture(TripManual)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=flight-%d.msev", time.Now().Unix()))
+		if _, err := d.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		d := s.rec.Capture(TripManual)
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChromeTrace(w, d); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

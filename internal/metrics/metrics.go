@@ -171,16 +171,21 @@ func (t *Table) String() string {
 	}
 	var b strings.Builder
 	writeRow := func(cells []string) {
+		var line strings.Builder
 		for i := range t.header {
 			c := ""
 			if i < len(cells) {
 				c = cells[i]
 			}
 			if i > 0 {
-				b.WriteString("  ")
+				line.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			fmt.Fprintf(&line, "%-*s", widths[i], c)
 		}
+		// No line carries trailing spaces (empty or short final cells
+		// would otherwise leave padding; golden-output tests want bytes
+		// to be stable).
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteByte('\n')
 	}
 	writeRow(t.header)

@@ -14,6 +14,16 @@ import (
 // instant. It round-trips through JSON (WriteJSON / ReadSnapshot) and renders
 // as aligned text (WriteText).
 type Snapshot struct {
+	// CapturedAtNanos is the capture instant on the registry's monotonic
+	// clock (nanoseconds since the registry was created). Two snapshots of
+	// the same registry order by it regardless of wall-clock steps, and
+	// msstat -diff uses the difference as the interval length.
+	CapturedAtNanos int64 `json:"captured_at_ns"`
+	// SweepSeq is the sweep-ring sequence number of the newest retained
+	// record (0 when none): the position of this snapshot in the sweep
+	// stream, stable even when the retained window is smaller than the
+	// total.
+	SweepSeq uint64 `json:"sweep_seq"`
 	// SweepsTotal counts sweeps ever observed; Sweeps retains only the
 	// ring's window of recent ones.
 	SweepsTotal uint64              `json:"sweeps_total"`
@@ -72,6 +82,12 @@ func fmtCount(n uint64) string {
 // records, histogram summaries, and gauges — the msrun -telemetry and msstat
 // output format.
 func (s Snapshot) WriteText(w io.Writer) error {
+	if s.CapturedAtNanos > 0 {
+		if _, err := fmt.Fprintf(w, "captured: +%s (sweep seq %d)\n",
+			time.Duration(s.CapturedAtNanos).Round(time.Millisecond), s.SweepSeq); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "sweeps observed: %d (showing last %d)\n", s.SweepsTotal, len(s.Sweeps)); err != nil {
 		return err
 	}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"minesweeper/internal/control"
 )
@@ -83,6 +84,10 @@ type SweepObserver interface {
 // use.
 type Registry struct {
 	ring *SweepRing
+	// epoch anchors Snapshot.CapturedAtNanos: a monotonic per-registry
+	// clock, so two snapshots of the same registry order and diff reliably
+	// even if the wall clock steps.
+	epoch time.Time
 
 	// The standard histograms, allocated eagerly so hot paths can cache
 	// the pointers without nil checks beyond the registry's own.
@@ -110,6 +115,7 @@ var _ SweepObserver = (*Registry)(nil)
 func NewRegistry(ringCap int) *Registry {
 	r := &Registry{
 		ring:   NewSweepRing(ringCap),
+		epoch:  time.Now(),
 		Malloc: NewHistogram(HistMalloc, "ns", DefaultHistShards),
 		Free:   NewHistogram(HistFree, "ns", DefaultHistShards),
 		Pause:  NewHistogram(HistPause, "ns", 1),
@@ -185,9 +191,13 @@ type GaugeValue struct {
 // merged/copied without blocking writers.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		SweepsTotal:  r.ring.Total(),
-		Sweeps:       r.ring.Snapshot(),
-		SamplePeriod: r.SamplePeriod(),
+		CapturedAtNanos: int64(time.Since(r.epoch)),
+		SweepsTotal:     r.ring.Total(),
+		Sweeps:          r.ring.Snapshot(),
+		SamplePeriod:    r.SamplePeriod(),
+	}
+	if n := len(s.Sweeps); n > 0 {
+		s.SweepSeq = s.Sweeps[n-1].Seq
 	}
 	if g := r.governor.Load(); g != nil {
 		st := g.State()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"minesweeper/internal/alloc"
+	"minesweeper/internal/events"
 	"minesweeper/internal/mem"
 	"minesweeper/internal/metrics"
 	"minesweeper/internal/schemes"
@@ -46,12 +47,23 @@ type Options struct {
 	// malloc/free latency histograms and quarantine gauges accumulate in
 	// the registry and survive the run for snapshotting.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, attaches a flight recorder to the scheme's heap
+	// (if the heap supports it) for the duration of the run: sweep-phase
+	// spans, pauses, drains and sampled ops stream into its rings, anomaly
+	// trips fire any attached sink, and the recorder survives the run for
+	// capture/export.
+	Events *events.Recorder
 }
 
 // telemetrySink is implemented by heaps that can attach a registry
 // (core.Heap; the baseline substrates do not).
 type telemetrySink interface {
 	SetTelemetry(*telemetry.Registry)
+}
+
+// eventsSink is implemented by heaps that can attach a flight recorder.
+type eventsSink interface {
+	SetEvents(*events.Recorder)
 }
 
 // Run executes prof under the scheme built by f and reports measurements.
@@ -80,6 +92,11 @@ func Run(prof Profile, f schemes.Factory, opts Options) (Result, error) {
 	if opts.Telemetry != nil {
 		if sink, ok := heap.(telemetrySink); ok {
 			sink.SetTelemetry(opts.Telemetry)
+		}
+	}
+	if opts.Events != nil {
+		if sink, ok := heap.(eventsSink); ok {
+			sink.SetEvents(opts.Events)
 		}
 	}
 

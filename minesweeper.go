@@ -181,6 +181,12 @@ type Config struct {
 	// by the core-based schemes (MineSweeper variants and Scudo+MS);
 	// ignored elsewhere.
 	Telemetry bool
+	// Events attaches a flight recorder (internal/events) to the scheme's
+	// heap: always-on per-thread rings of sweep-phase spans, pause and STW
+	// windows, drains, and sampled ops, with anomaly-triggered dumps and
+	// the exporters behind msstat -events/-chrome/-watch. Retrievable with
+	// Process.Events(). Same scheme support as Telemetry.
+	Events bool
 
 	// MemoryBudget, when non-zero, bounds the process's resident footprint:
 	// the control plane treats it as the 100% pressure mark, sweeps are

@@ -9,6 +9,7 @@ import (
 	"minesweeper/internal/crcount"
 	"minesweeper/internal/dangsan"
 	"minesweeper/internal/dlmalloc"
+	"minesweeper/internal/events"
 	"minesweeper/internal/ffmalloc"
 	"minesweeper/internal/jemalloc"
 	"minesweeper/internal/markus"
@@ -29,6 +30,7 @@ type Process struct {
 	heap  alloc.Allocator
 	prog  *sim.Program
 	tel   *telemetry.Registry
+	evt   *events.Recorder
 }
 
 // NewProcess creates a process protected by the configured scheme. The
@@ -57,6 +59,14 @@ func NewProcess(cfg Config) (*Process, error) {
 		}); ok {
 			p.tel = telemetry.NewRegistry(telemetry.DefaultRingCap)
 			sink.SetTelemetry(p.tel)
+		}
+	}
+	if cfg.Events {
+		if sink, ok := heap.(interface {
+			SetEvents(*events.Recorder)
+		}); ok {
+			p.evt = events.NewRecorder(events.DefaultRingCap, events.DefaultWindow)
+			sink.SetEvents(p.evt)
 		}
 	}
 	return p, nil
@@ -246,6 +256,12 @@ func (p *Process) Stats() Stats {
 // registry is live: snapshot it at any time, or publish it with
 // PublishExpvar to serve it from /debug/vars.
 func (p *Process) Telemetry() *telemetry.Registry { return p.tel }
+
+// Events returns the process's flight recorder, or nil when Config.Events
+// was false or the scheme does not support attachment. The recorder is live:
+// capture a dump at any time, attach a sink for anomaly-triggered dumps, or
+// serve it with events.NewServer for msstat -watch.
+func (p *Process) Events() *events.Recorder { return p.evt }
 
 // Governor returns a snapshot of the control plane's state — policy,
 // pressure level, effective knobs, recent decisions — or nil when the
