@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead events-overhead governor-overhead governor-gate pause-gate flightrec-smoke figures examples clean
+.PHONY: all help build vet test race race-hot check bench bench-free bench-json bench-gate bench-all telemetry-overhead events-overhead governor-overhead governor-gate pause-gate fleet-gate flightrec-smoke figures examples clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ help:
 	@echo "  race-hot   race detector on sweep/shadow/core/mem/jemalloc only"
 	@echo "  bench      sweep hot-path benchmarks (bulk scan, markers, page scan)"
 	@echo "  bench-free malloc/free hot-path benchmarks (fixed-iteration protocol)"
-	@echo "  bench-json bench-free + sweep-release runs -> BENCH_free.json, BENCH_sweep.json"
+	@echo "  bench-json bench-free + sweep-release + fleet runs -> BENCH_free.json, BENCH_sweep.json, BENCH_fleet.json"
 	@echo "  bench-gate gate: fresh MallocFree64 + SweepRelease medians within BENCH_GATE_RATIO of their BENCH_*.json"
 	@echo "  bench-all  every benchmark in the repository"
 	@echo "  telemetry-overhead  gate: telemetry-on malloc/free within 3% of telemetry-off"
@@ -24,6 +24,7 @@ help:
 	@echo "  governor-overhead   gate: governed malloc/free within 3% of ungoverned"
 	@echo "  governor-gate       gate: governed peak RSS stays within budget+10% on the pressure ramp"
 	@echo "  pause-gate          gate: p99.9 STW pause on pressure-mt under MS_PAUSE_BOUND_NS (default 2^19 ns)"
+	@echo "  fleet-gate          gate: 256-tenant fleet under 75% budget holds peak RSS <= budget+10%, floors honoured"
 	@echo "  figures    regenerate the paper figures (cmd/msbench)"
 	@echo "  examples   run the example programs"
 
@@ -43,17 +44,20 @@ race:
 # shadow markers, page scanning, the core sweep loop) — much faster than a
 # full `make race` and the first thing to run after touching the sweep path.
 race-hot:
-	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/events ./internal/control ./internal/workload
+	$(GO) test -race ./internal/sweep ./internal/shadow ./internal/core ./internal/quarantine ./internal/mem ./internal/jemalloc ./internal/telemetry ./internal/events ./internal/control ./internal/workload ./internal/fleet
 
 # The pre-merge gate: static checks, a fast config-validation pass (fails
 # immediately on inconsistent knob combinations like ZeroDeferred with
-# zeroing disabled), the hot-path race pass, then the events-overhead gate
+# zeroing disabled), the hot-path race pass, the events-overhead gate
 # (the flight recorder is always-attachable, so its hot-path cost is a
-# merge-blocking property like the race freedom of the paths it instruments).
+# merge-blocking property like the race freedom of the paths it instruments),
+# then the fleet gate (the federated governor's budget bound is likewise a
+# merge-blocking property of the two-level control plane).
 check: vet
 	$(GO) test -run '^TestValidate' -count=1 .
 	$(MAKE) race-hot
 	$(MAKE) events-overhead
+	$(MAKE) fleet-gate
 
 # One-command perf baseline for the sweep hot path: the bulk-scan vs per-word
 # sweep comparison plus the shadow-marker and page-scan micro-benchmarks.
@@ -78,6 +82,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_free.json
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
 		| $(GO) run ./cmd/benchjson > BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet64Tenants' -benchtime=50x -count=5 ./internal/fleet \
+		| $(GO) run ./cmd/benchjson > BENCH_fleet.json
 
 # Benchmark regression gate: re-run the malloc/free comparison at the recorded
 # protocol and fail if any benchmark's fresh median exceeds its committed
@@ -93,6 +99,8 @@ bench-gate:
 		| $(GO) run ./cmd/benchjson -baseline BENCH_free.json -match MallocFree64 -max-ratio $(BENCH_GATE_RATIO)
 	$(GO) test -run '^$$' -bench 'BenchmarkSweepRelease' -count=5 ./internal/core \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_sweep.json -match SweepRelease -max-ratio $(BENCH_GATE_RATIO)
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet64Tenants' -benchtime=50x -count=5 ./internal/fleet \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_fleet.json -match Fleet64Tenants -max-ratio $(BENCH_GATE_RATIO)
 
 # Telemetry-overhead gate: interleaved fixed-iteration rounds of the 64-byte
 # malloc/free pair with and without the telemetry registry attached; fails if
@@ -135,6 +143,15 @@ MS_PAUSE_BOUND_NS ?= 524288
 pause-gate:
 	MS_PAUSE_GATE=1 MS_PAUSE_BOUND_NS=$(MS_PAUSE_BOUND_NS) $(GO) test -run '^TestPauseTailBound$$' -count=1 -v ./internal/workload
 
+# Fleet acceptance gate: run a 256-tenant fleet twice — unbounded to
+# calibrate its natural peak footprint, then under 75% of that peak — and
+# require the governed host peak RSS to stay within budget+10% while every
+# tenant keeps its guaranteed floor and no priority-0 tenant's p99.9 pause
+# leaves the pause-gate envelope (2^19 ns). The acceptance experiment for
+# the federated (host + tenant) governor.
+fleet-gate:
+	MS_FLEET_GATE=1 $(GO) test -run '^TestFleetGate$$' -count=1 -v -timeout 600s ./internal/fleet
+
 # Flight-recorder smoke: run the pressure ramp under a budget tight enough to
 # drive the governor critical, require an anomaly-triggered dump (not the
 # end-of-run fallback capture), then require msstat to parse the dump,
@@ -169,6 +186,7 @@ examples:
 	$(GO) run ./examples/telemetry
 	$(GO) run ./examples/governor
 	$(GO) run ./examples/flightrec
+	$(GO) run ./examples/fleet
 
 clean:
 	$(GO) clean ./...

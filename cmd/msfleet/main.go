@@ -1,0 +1,178 @@
+// Command msfleet runs a multi-tenant fleet simulation: N tenant processes
+// (each a full MineSweeper heap with its own governor plane) co-resident
+// under one shared host RSS budget, arbitrated by the federated governor in
+// internal/fleet. It reports per-tenant and host-wide latency quantiles, RSS
+// shares and throttle/starvation counters as text or JSON.
+//
+// Usage:
+//
+//	msfleet -budget 256M                        # default gold/silver/bronze mix
+//	msfleet -budget 256M -json                  # machine-readable report
+//	msfleet -budget 1G -ticks 512 -seed 7       # longer run
+//	msfleet -budget 64M \
+//	  -class gold:prio=0,weight=4,tenants=8,floor=1M,workload=cache,lambda=3 \
+//	  -class bulk:prio=2,weight=1,tenants=24,floor=256K,workload=burst,lambda=5,burst=4
+//	msfleet -budget 256M -events fleet.msev     # flight-record host arbitration
+//
+// Class specs are name:key=value,... — unknown keys are rejected, sizes use
+// the usual suffixes (K/M/G), and the assembled config goes through the same
+// fleet.Config.Validate() the library applies, so inconsistent flags (floors
+// summing past the budget, say) fail fast with the validator's message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"minesweeper/internal/events"
+	"minesweeper/internal/fleet"
+	"minesweeper/internal/metrics"
+)
+
+func main() {
+	budgetFlag := flag.String("budget", "256M", "shared host RSS budget, e.g. 256M or 1G")
+	ticks := flag.Int("ticks", 256, "simulation ticks to run")
+	arbEvery := flag.Int("arbiter-every", 4, "rebalance the federated budget every N ticks")
+	noisyTicks := flag.Int("noisy-ticks", 3, "consecutive pinned rebalances before a tenant is flagged noisy")
+	seed := flag.Uint64("seed", 1, "deterministic fleet seed")
+	asJSON := flag.Bool("json", false, "emit the fleet report as JSON instead of text")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	eventsOut := flag.String("events", "", "write a flight-recorder dump of host arbitration events (.msev) at end of run")
+	var classes classList
+	flag.Var(&classes, "class", "tenant class spec name:key=value,... (keys: prio, weight, tenants, floor, workload, lambda, burst); repeatable")
+	flag.Parse()
+
+	budget, err := metrics.ParseSize(*budgetFlag)
+	if err != nil {
+		fatal(fmt.Errorf("-budget: %w", err))
+	}
+	cfg := fleet.Config{
+		HostBudget:   budget,
+		Classes:      classes,
+		Ticks:        *ticks,
+		ArbiterEvery: *arbEvery,
+		NoisyTicks:   *noisyTicks,
+		Seed:         *seed,
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = defaultClasses(budget)
+	}
+
+	var rec *events.Recorder
+	if *eventsOut != "" {
+		rec = events.NewRecorder(4096, time.Second)
+		cfg.Events = rec
+	}
+
+	host, err := fleet.NewHost(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := host.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asJSON {
+		err = rep.WriteJSON(w)
+	} else {
+		err = rep.WriteText(w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if rec != nil {
+		dump := rec.Capture(events.TripManual)
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := dump.WriteTo(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "msfleet: wrote %s (render with msstat -events)\n", *eventsOut)
+	}
+}
+
+// defaultClasses is the stock gold/silver/bronze mix, sized so floors
+// reserve about a quarter of the budget across 32 tenants.
+func defaultClasses(budget uint64) []fleet.Class {
+	floor := budget / 128
+	return []fleet.Class{
+		{Name: "gold", Priority: 0, Weight: 4, Tenants: 8, Floor: floor, Workload: "cache", Lambda: 3},
+		{Name: "silver", Priority: 1, Weight: 2, Tenants: 12, Floor: floor, Workload: "churn", Lambda: 4},
+		{Name: "bronze", Priority: 2, Weight: 1, Tenants: 12, Floor: floor, Workload: "burst", Lambda: 4, Burst: 4},
+	}
+}
+
+// classList parses repeated -class specs into fleet.Class values.
+type classList []fleet.Class
+
+func (c *classList) String() string {
+	parts := make([]string, len(*c))
+	for i, cl := range *c {
+		parts[i] = cl.Name
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *classList) Set(v string) error {
+	name, rest, ok := strings.Cut(v, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("class spec %q: want name:key=value,...", v)
+	}
+	cl := fleet.Class{Name: name, Weight: 1, Tenants: 1}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("class %s: bad key=value %q", name, kv)
+		}
+		var err error
+		switch key {
+		case "prio":
+			cl.Priority, err = strconv.Atoi(val)
+		case "weight":
+			cl.Weight, err = strconv.ParseFloat(val, 64)
+		case "tenants":
+			cl.Tenants, err = strconv.Atoi(val)
+		case "floor":
+			cl.Floor, err = metrics.ParseSize(val)
+		case "workload":
+			cl.Workload = val
+		case "lambda":
+			cl.Lambda, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			cl.Burst, err = strconv.ParseFloat(val, 64)
+		default:
+			return fmt.Errorf("class %s: unknown key %q", name, key)
+		}
+		if err != nil {
+			return fmt.Errorf("class %s: %s=%q: %w", name, key, val, err)
+		}
+	}
+	*c = append(*c, cl)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "msfleet:", err)
+	os.Exit(1)
+}

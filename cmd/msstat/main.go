@@ -12,6 +12,7 @@
 //	msstat -diff old.json new.json  # delta between two snapshots of one run
 //	msstat -events flight.msev [-chrome trace.json]   # render a flight dump
 //	msstat -watch -addr :8844 [-interval 500ms] [-count 10]  # live view
+//	msstat -watch -addr :8844 -addr :8845     # tail several tenants side by side
 package main
 
 import (
@@ -42,7 +43,8 @@ func main() {
 	eventsIn := flag.String("events", "", "render a flight-recorder dump (.msev) as a text timeline")
 	chromeOut := flag.String("chrome", "", "with -events: also convert the dump to Chrome trace-event JSON at this path (chrome://tracing, Perfetto)")
 	watch := flag.Bool("watch", false, "poll a live msrun -events-addr server and render a refreshing view")
-	addr := flag.String("addr", "127.0.0.1:8844", "server address for -watch (host:port or full URL)")
+	var addrs addrList
+	flag.Var(&addrs, "addr", "server address for -watch (host:port or full URL); repeat to tail several tenants side by side (default 127.0.0.1:8844)")
 	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval for -watch")
 	count := flag.Int("count", 0, "number of polls for -watch (0 = until the server goes away)")
 	flag.Parse()
@@ -52,7 +54,14 @@ func main() {
 		renderFlightDump(*eventsIn, *chromeOut)
 		return
 	case *watch:
-		watchEvents(*addr, *interval, *count)
+		if len(addrs) == 0 {
+			addrs = addrList{"127.0.0.1:8844"}
+		}
+		if len(addrs) == 1 {
+			watchEvents(addrs[0], *interval, *count)
+		} else {
+			watchEventsMulti(addrs, *interval, *count)
+		}
 		return
 	case *diff != "":
 		newer := flag.Arg(0)
@@ -174,6 +183,18 @@ func renderFlightDump(path, chromePath string) {
 // volume of fresh events since the previous tick. It exits cleanly when the
 // server goes away (the run ended), and fails only if the very first poll
 // cannot connect.
+// addrList lets -addr repeat so -watch can tail several tenants side by
+// side. With a single (or defaulted) address the behaviour and output are
+// exactly the historical single-target ones.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+func (a *addrList) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
 func watchEvents(addr string, interval time.Duration, count int) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
@@ -202,6 +223,63 @@ func watchEvents(addr string, interval time.Duration, count int) {
 			}
 		}
 		fmt.Println(formatState(st, fresh))
+	}
+}
+
+// watchEventsMulti tails several tenants side by side: one line per live
+// target per tick, each prefixed with its address. A target that cannot be
+// reached on the very first tick is fatal (same contract as the single-addr
+// path); one that disappears mid-watch is reported once and dropped, and the
+// watch ends when every target is gone.
+func watchEventsMulti(addrs []string, interval time.Duration, count int) {
+	type target struct {
+		addr  string
+		url   string
+		after uint64
+		gone  bool
+	}
+	width := 0
+	targets := make([]*target, len(addrs))
+	for i, a := range addrs {
+		full := a
+		if !strings.Contains(full, "://") {
+			full = "http://" + full
+		}
+		targets[i] = &target{addr: a, url: strings.TrimRight(full, "/") + "/events/state"}
+		if len(a) > width {
+			width = len(a)
+		}
+	}
+	live := len(targets)
+	for tick := 0; (count == 0 || tick < count) && live > 0; tick++ {
+		if tick > 0 {
+			time.Sleep(interval)
+		}
+		for _, tg := range targets {
+			if tg.gone {
+				continue
+			}
+			st, err := fetchState(fmt.Sprintf("%s?after=%d", tg.url, tg.after))
+			if err != nil {
+				if tick == 0 {
+					fatal(fmt.Errorf("connecting to %s: %w", tg.url, err))
+				}
+				fmt.Printf("%-*s  msstat: server gone (run finished)\n", width, tg.addr)
+				tg.gone = true
+				live--
+				continue
+			}
+			fresh := 0
+			for _, b := range st.Batches {
+				fresh += len(b.Events)
+				for _, e := range b.Events {
+					if e.Nanos > tg.after {
+						tg.after = e.Nanos
+					}
+				}
+			}
+			fmt.Printf("%-*s  %s\n", width, tg.addr, formatState(st, fresh))
+		}
 	}
 }
 

@@ -280,8 +280,11 @@ func DefaultBands() Bands {
 	}
 }
 
-// next folds one observation into the level state machine.
-func (b Bands) next(cur Level, in Inputs) Level {
+// Next folds one observation into the level state machine and returns the
+// new level. It is a pure function of its arguments, so callers other than
+// Plane — the fleet arbiter runs the same hysteresis over host-wide inputs —
+// can reuse the exact banding the per-heap planes use.
+func (b Bands) Next(cur Level, in Inputs) Level {
 	u := in.Usage()
 	lvl := cur
 	switch cur {
@@ -335,14 +338,19 @@ type Config struct {
 
 // Plane is one heap's control plane. The core layer calls Observe under its
 // sweep lock (single writer); mutator hot paths call Knobs, Budget and Level
-// concurrently (atomic reads).
+// concurrently (atomic reads). Budget and rails are themselves republishable
+// at runtime (SetBudget/SetRails): a host-level arbiter apportioning one
+// machine budget across many tenant planes re-grants each tenant's slice at
+// its own cadence, and the tenant's next sweep-boundary observation picks the
+// new envelope up — no tenant fast-path cost beyond the atomic loads already
+// there.
 type Plane struct {
 	base   Knobs
-	rails  Rails
-	budget uint64
 	policy Policy
 	bands  Bands
 
+	rails        atomic.Pointer[Rails]
+	budget       atomic.Uint64
 	cur          atomic.Pointer[Knobs]
 	level        atomic.Int32
 	observations atomic.Uint64
@@ -362,12 +370,13 @@ func NewPlane(cfg Config) *Plane {
 	}
 	p := &Plane{
 		base:   cfg.Base,
-		rails:  cfg.Rails,
-		budget: cfg.Budget,
 		policy: cfg.Policy,
 		bands:  cfg.Bands,
 		ring:   NewDecisionRing(cfg.RingCap),
 	}
+	rails := cfg.Rails
+	p.rails.Store(&rails)
+	p.budget.Store(cfg.Budget)
 	base := cfg.Base
 	p.cur.Store(&base)
 	return p
@@ -379,11 +388,32 @@ func (p *Plane) Knobs() Knobs { return *p.cur.Load() }
 // Base returns the configured (relaxed) knob values.
 func (p *Plane) Base() Knobs { return p.base }
 
-// Rails returns the decision envelope.
-func (p *Plane) Rails() Rails { return p.rails }
+// Rails returns the decision envelope (one atomic load).
+func (p *Plane) Rails() Rails { return *p.rails.Load() }
 
-// Budget returns the memory budget in bytes (0 = unbounded).
-func (p *Plane) Budget() uint64 { return p.budget }
+// SetRails republishes the decision envelope. The currently effective knobs
+// are immediately re-clamped into the new rails, so a shrinking envelope
+// takes hold without waiting for the next sweep boundary. Safe to call from
+// any goroutine (a host arbiter), concurrently with Observe: the clamp here
+// and the one inside Observe both land inside one of the two envelopes, and
+// the next Observe settles on the new one.
+func (p *Plane) SetRails(r Rails) {
+	rails := r
+	p.rails.Store(&rails)
+	cur := *p.cur.Load()
+	if clamped := r.Clamp(cur); clamped != cur {
+		p.cur.Store(&clamped)
+	}
+}
+
+// Budget returns the memory budget in bytes (0 = unbounded; one atomic load).
+func (p *Plane) Budget() uint64 { return p.budget.Load() }
+
+// SetBudget republishes the memory budget (0 = unbounded). Safe to call from
+// any goroutine: the heap reads the budget on its amortised trigger/pause
+// checks and the plane folds it into the next sweep-boundary observation, so
+// a re-granted tenant converges within one sweep cycle.
+func (p *Plane) SetBudget(b uint64) { p.budget.Store(b) }
 
 // Level returns the current pressure level.
 func (p *Plane) Level() Level { return Level(p.level.Load()) }
@@ -408,11 +438,12 @@ func (p *Plane) Ring() *DecisionRing { return p.ring }
 // sweep lock provides this); readers of Knobs/Level are lock-free.
 func (p *Plane) Observe(in Inputs) (Decision, bool) {
 	p.observations.Add(1)
-	in.Budget = p.budget
+	in.Budget = p.budget.Load()
 	prev := Level(p.level.Load())
-	lvl := p.bands.next(prev, in)
+	lvl := p.bands.Next(prev, in)
 	cur := *p.cur.Load()
-	next := p.rails.Clamp(p.policy.Decide(lvl, in, cur, p.base, p.rails))
+	rails := *p.rails.Load()
+	next := rails.Clamp(p.policy.Decide(lvl, in, cur, p.base, rails))
 	if lvl == prev && next == cur {
 		return Decision{}, false
 	}
@@ -446,10 +477,10 @@ func (p *Plane) State() State {
 	return State{
 		Policy:         p.policy.Name(),
 		Level:          p.Level(),
-		Budget:         p.budget,
+		Budget:         p.Budget(),
 		Base:           p.base,
 		Knobs:          p.Knobs(),
-		Rails:          p.rails,
+		Rails:          p.Rails(),
 		Observations:   p.observations.Load(),
 		DecisionsTotal: p.ring.Total(),
 		Decisions:      p.ring.Snapshot(),

@@ -1179,12 +1179,24 @@ func (h *Heap) maybeTriggerSweep(tid alloc.ThreadID) {
 	}
 	if !trigger {
 		// Budget trigger: resident memory over the budget and enough
-		// sweepable quarantine to make a sweep worthwhile (the same floor
-		// as the pause brake, so a heap whose live set alone exceeds the
-		// budget does not sweep-storm).
-		if b := h.budget(); b > 0 && effQ > pauseFloorBytes && h.space.RSS() > b {
-			trigger = true
-			reason = telemetry.TriggerBudget
+		// sweepable quarantine to make a sweep worthwhile. "Worthwhile"
+		// scales with the budget (1/32nd, capped at the pause-brake floor
+		// so large heaps behave exactly as before): a heap whose live set
+		// alone exceeds the budget does not sweep-storm, while a small
+		// governed heap — a multi-tenant rail of a few hundred KiB — can
+		// still reach the floor and let its governor observe pressure.
+		if b := h.budget(); b > 0 && h.space.RSS() > b {
+			floor := b / 32
+			if floor > pauseFloorBytes {
+				floor = pauseFloorBytes
+			}
+			if floor < h.cfg.SweepFloorBytes {
+				floor = h.cfg.SweepFloorBytes
+			}
+			if effQ > floor {
+				trigger = true
+				reason = telemetry.TriggerBudget
+			}
 		}
 	}
 	if !trigger {

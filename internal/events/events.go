@@ -77,6 +77,14 @@ const (
 	KindGovDecision // arg0=new pressure level, arg1=previous level
 	KindTrip        // flight-recorder trigger fired; arg0=cause code
 
+	// Fleet-level instants, emitted on the host arbiter's ring
+	// (internal/fleet). Tenant ids are the arbiter's stable per-tenant
+	// indices; the same ids label the fleet report's rows.
+	KindTenantThrottle  // noisy neighbour throttled; arg0=tenant id, arg1=new rail bytes
+	KindTenantRebalance // host rebalance tick changed rails; arg0=tenants re-railed, arg1=host RSS
+	KindStarveAvert     // floor clamp engaged; arg0=tenant id, arg1=floor bytes
+	KindHostLevel       // host pressure level transition; arg0=new level, arg1=previous level
+
 	kindCount
 )
 
@@ -110,8 +118,12 @@ var kindNames = [...]string{
 	KindZeroScrub:     "zero-scrub",
 	KindAlloc:         "alloc",
 	KindFree:          "free",
-	KindGovDecision:   "governor",
-	KindTrip:          "trip",
+	KindGovDecision:     "governor",
+	KindTrip:            "trip",
+	KindTenantThrottle:  "tenant-throttle",
+	KindTenantRebalance: "rebalance",
+	KindStarveAvert:     "starve-avert",
+	KindHostLevel:       "host-level",
 }
 
 // spanOpen maps a Begin kind to its End kind (0 for instants).
@@ -277,6 +289,9 @@ const (
 	// TripBudgetRSS fires when resident memory exceeds the governed budget
 	// at a sweep boundary.
 	TripBudgetRSS
+	// TripHostBudget fires when a fleet host's aggregate resident memory
+	// exceeds the host budget at an arbiter tick (internal/fleet).
+	TripHostBudget
 )
 
 // String returns the cause's name.
@@ -290,6 +305,8 @@ func (c TripCause) String() string {
 		return "governor-critical"
 	case TripBudgetRSS:
 		return "rss-over-budget"
+	case TripHostBudget:
+		return "host-over-budget"
 	default:
 		return fmt.Sprintf("TripCause(%d)", int(c))
 	}

@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"minesweeper/internal/control"
+)
+
+// Arbiter scale and throttle bounds. The host tightness scale follows the
+// AIMD shape of control.NewAIMD — multiplicative decrease under pressure,
+// additive recovery when calm — and both factors are floored so a long
+// Critical episode cannot drive grants to zero (the floor still guarantees
+// liveness regardless).
+const (
+	scaleMin    = 1.0 / 64
+	throttleMin = 1.0 / 16
+	recoverStep = 0.125
+)
+
+// rail is the arbiter's per-tenant state: the published budget plus the
+// signals (demand estimate, pinned streak, throttle) that shape the next
+// grant.
+type rail struct {
+	id       int
+	floor    uint64
+	weight   float64
+	priority int
+
+	demand   float64 // EMA of observed RSS
+	budget   uint64  // last granted rail
+	pinned   int     // consecutive rebalances spent at >= 7/8 of the rail
+	throttle float64 // noisy-neighbour multiplier in [throttleMin, 1]
+	noisy    bool
+	starving bool // floor currently the only thing keeping the tenant fed
+
+	throttles    uint64 // times flagged noisy (transitions, not ticks)
+	starveAverts uint64 // times the floor guarantee engaged (transitions)
+}
+
+// Grant is one tenant's outcome from a rebalance.
+type Grant struct {
+	ID     int
+	Budget uint64 // new rail, >= the tenant's floor by construction
+	// Throttled is set on the rebalance that flags the tenant noisy.
+	Throttled bool
+	// StarveAverted is set on the rebalance where the share formula alone
+	// would have left the tenant under its floor while it had demand —
+	// the moment the floor guarantee did real work.
+	StarveAverted bool
+	// Noisy reports the tenant's current noisy-neighbour flag.
+	Noisy bool
+}
+
+// Arbiter is the host-level federated governor. It reuses the per-heap
+// plane's hysteresis bands over host-wide inputs (total RSS against the
+// host budget) and apportions the budget as
+//
+//	budget_i = floor_i + distributable * s_i * share_i / sum(share)
+//
+// where distributable = hostBudget - sum(floors), share_i is the tenant's
+// class weight scaled by its demand estimate, and s_i <= 1 folds together
+// the host AIMD tightness, a priority easing (priority 0 takes the square
+// root of the scale, a strictly milder cut) and the tenant's own
+// noisy-neighbour throttle. Every term is <= 1, so grants always sum to at
+// most the host budget, and every tenant receives at least its floor — both
+// invariants hold by construction, not by feedback.
+//
+// Arbiter is not goroutine-safe; the Host calls it from its tick loop.
+type Arbiter struct {
+	hostBudget uint64
+	bands      control.Bands
+	noisyTicks int
+
+	level      control.Level
+	scale      float64
+	floors     uint64
+	rails      []*rail
+	byID       map[int]*rail
+	rebalances uint64
+}
+
+// NewArbiter returns an arbiter for hostBudget with the standard hysteresis
+// bands. noisyTicks <= 0 means the default 3.
+func NewArbiter(hostBudget uint64, noisyTicks int) *Arbiter {
+	if noisyTicks <= 0 {
+		noisyTicks = 3
+	}
+	return &Arbiter{
+		hostBudget: hostBudget,
+		bands:      control.DefaultBands(),
+		noisyTicks: noisyTicks,
+		// Slow start: tightness begins at a quarter and recovers
+		// additively through calm rebalances, so a fresh fleet ramps
+		// into its budget instead of being granted all of it before the
+		// first pressure reading exists.
+		scale: 0.25,
+		byID:  make(map[int]*rail),
+	}
+}
+
+// Level returns the host pressure level after the last rebalance.
+func (a *Arbiter) Level() control.Level { return a.level }
+
+// Scale returns the host AIMD tightness in (0, 1] (tests).
+func (a *Arbiter) Scale() float64 { return a.scale }
+
+// Rebalances returns how many rebalances have run.
+func (a *Arbiter) Rebalances() uint64 { return a.rebalances }
+
+// Admit adds a tenant rail. The floor is reserved immediately: admitting a
+// tenant whose floor the remaining budget cannot cover fails with
+// ErrBadConfig, because a floor the host cannot honour is not a guarantee.
+func (a *Arbiter) Admit(id int, floor uint64, weight float64, priority int) error {
+	if _, ok := a.byID[id]; ok {
+		return fmt.Errorf("%w: tenant %d admitted twice", ErrBadConfig, id)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("%w: tenant %d weight must be positive, got %g", ErrBadConfig, id, weight)
+	}
+	if a.floors+floor > a.hostBudget {
+		return fmt.Errorf("%w: admitting tenant %d would push floors to %d, past the host budget %d", ErrBadConfig, id, a.floors+floor, a.hostBudget)
+	}
+	r := &rail{id: id, floor: floor, weight: weight, priority: priority, throttle: 1}
+	a.rails = append(a.rails, r)
+	a.byID[id] = r
+	a.floors += floor
+	return nil
+}
+
+// Evict removes a tenant rail, releasing its floor reservation.
+func (a *Arbiter) Evict(id int) {
+	r, ok := a.byID[id]
+	if !ok {
+		return
+	}
+	delete(a.byID, id)
+	a.floors -= r.floor
+	for i, v := range a.rails {
+		if v == r {
+			a.rails = append(a.rails[:i], a.rails[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tenants returns the admitted tenant count.
+func (a *Arbiter) Tenants() int { return len(a.rails) }
+
+// Budget returns a tenant's current rail (0 if unknown or never granted).
+func (a *Arbiter) Budget(id int) uint64 {
+	if r, ok := a.byID[id]; ok {
+		return r.budget
+	}
+	return 0
+}
+
+// Counters returns a tenant's throttle and starvation-avert transition
+// counts.
+func (a *Arbiter) Counters(id int) (throttles, starveAverts uint64) {
+	if r, ok := a.byID[id]; ok {
+		return r.throttles, r.starveAverts
+	}
+	return 0, 0
+}
+
+// Rebalance folds one observation of per-tenant RSS into the arbiter and
+// returns the new grants in deterministic (admission-ordered) sequence,
+// plus whether the host pressure level changed. rss is queried once per
+// tenant. Grants are pure outputs: publication to tenant planes is the
+// caller's job, keeping the arbiter testable without heaps.
+func (a *Arbiter) Rebalance(rss func(id int) uint64) (grants []Grant, levelChanged bool) {
+	a.rebalances++
+
+	// Host pressure: the per-heap hysteresis bands over host-wide inputs.
+	var total uint64
+	obs := make([]uint64, len(a.rails))
+	for i, r := range a.rails {
+		obs[i] = rss(r.id)
+		total += obs[i]
+	}
+	prev := a.level
+	a.level = a.bands.Next(a.level, control.Inputs{RSS: total, Budget: a.hostBudget})
+	levelChanged = a.level != prev
+
+	// Host AIMD tightness: halve at Critical, trim at Elevated, recover
+	// additively at Nominal — the same shape control.NewAIMD applies to
+	// per-heap knobs.
+	switch a.level {
+	case control.Critical:
+		a.scale *= 0.5
+	case control.Elevated:
+		a.scale *= 0.75
+	default:
+		a.scale += recoverStep
+	}
+	a.scale = math.Min(1, math.Max(scaleMin, a.scale))
+
+	// Per-tenant signals: demand EMA, pinned streaks, noisy flags.
+	distributable := a.hostBudget - a.floors
+	var sumWeight float64
+	for _, r := range a.rails {
+		sumWeight += r.weight
+	}
+	var sumShare float64
+	for i, r := range a.rails {
+		r.demand += (float64(obs[i]) - r.demand) / 4
+		// A noisy-neighbour candidate sits pinned at its rail AND is
+		// consuming past its weight-entitled fair share. The second
+		// condition matters: under sustained pressure the AIMD scale
+		// squeezes every rail toward its floor, so "at the rail" alone
+		// would eventually flag compliant tenants whose rail shrank
+		// under their steady usage.
+		fair := float64(r.floor) + float64(distributable)*r.weight/sumWeight
+		if r.budget > 0 && obs[i] >= r.budget-r.budget/8 && float64(obs[i]) > fair {
+			r.pinned++
+		} else {
+			r.pinned = 0
+		}
+		// Pinned past the fair share is only "noisy" while the host is
+		// under pressure: a tenant using more than its share of an idle
+		// host is just efficient.
+		noisy := r.pinned >= a.noisyTicks && a.level != control.Nominal
+		if noisy && !r.noisy {
+			r.throttle = math.Max(throttleMin, r.throttle*0.5)
+			r.throttles++
+		} else if !noisy && r.throttle < 1 {
+			r.throttle = math.Min(1, r.throttle+recoverStep)
+		}
+		r.noisy = noisy
+		sumShare += r.share()
+	}
+	grants = make([]Grant, len(a.rails))
+	for i, r := range a.rails {
+		// s_i <= 1 always: host scale (eased for priority 0), times the
+		// tenant's own throttle.
+		si := a.scale
+		if r.priority == 0 {
+			si = math.Sqrt(si)
+		}
+		si *= r.throttle
+		var grant uint64
+		if sumShare > 0 {
+			grant = uint64(float64(distributable) * si * r.share() / sumShare)
+		}
+		starving := grant < r.floor/4 && r.demand > float64(r.floor)
+		if starving && !r.starving {
+			r.starveAverts++
+		}
+		g := Grant{
+			ID:            r.id,
+			Budget:        r.floor + grant,
+			Noisy:         r.noisy,
+			Throttled:     r.noisy && r.pinned == a.noisyTicks,
+			StarveAverted: starving && !r.starving,
+		}
+		r.starving = starving
+		r.budget = g.Budget
+		grants[i] = g
+	}
+	return grants, levelChanged
+}
+
+// share is the tenant's weight in the distributable split: class weight
+// scaled by demand (plus one page so an idle tenant keeps a nonzero share
+// and can ramp back up).
+func (r *rail) share() float64 { return r.weight * (r.demand + 4096) }

@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"minesweeper/internal/events"
+)
+
+// smallConfig is a fast fleet for functional tests.
+func smallConfig() Config {
+	return Config{
+		HostBudget: 512 << 20,
+		Classes: []Class{
+			{Name: "gold", Priority: 0, Weight: 4, Tenants: 2, Floor: 1 << 20, Workload: "cache", Lambda: 3},
+			{Name: "batch", Priority: 1, Weight: 1, Tenants: 2, Floor: 1 << 20, Workload: "churn", Lambda: 3},
+		},
+		Ticks:        24,
+		ArbiterEvery: 2,
+		Seed:         7,
+	}
+}
+
+func TestFleetSmoke(t *testing.T) {
+	h, err := NewHost(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TenantCount != 4 {
+		t.Fatalf("tenant count %d, want 4", rep.TenantCount)
+	}
+	if rep.Rebalances == 0 {
+		t.Fatal("arbiter never rebalanced")
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Mallocs == 0 {
+			t.Errorf("tenant %d performed no allocations", tr.ID)
+		}
+		if !tr.FloorHonoured() {
+			t.Errorf("tenant %d floor violated: min grant %d < floor %d", tr.ID, tr.MinGrant, tr.Floor)
+		}
+		if tr.Err != "" {
+			t.Errorf("tenant %d: %s", tr.ID, tr.Err)
+		}
+	}
+	if rep.Malloc.Count == 0 {
+		t.Fatal("host-wide malloc histogram empty")
+	}
+}
+
+// TestFleetJoinLeaveConvergence is the -race convergence stress: tenants
+// join and leave while the run is in flight, and every budget publication
+// must stay consistent (no torn plane: every rail ever published is at
+// least the tenant's floor, and grants keep summing under the host budget —
+// the arbiter asserts the latter by construction, the report checks the
+// former).
+func TestFleetJoinLeaveConvergence(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Classes[0].Tenants = 4
+	cfg.Classes[1].Tenants = 4
+	cfg.Ticks = 120
+	h, err := NewHost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var rep *Report
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, runErr = h.Run()
+	}()
+
+	// Churn membership while the run is hot. IDs 0..7 exist; every join
+	// may race the run's final teardown, so errors after shutdown are
+	// fine — the assertion is on the survivors' consistency.
+	joinCls := Class{Name: "joiner", Priority: 1, Weight: 2, Tenants: 1, Floor: 1 << 20, Workload: "burst", Lambda: 2}
+	for i := 0; i < 6; i++ {
+		id, err := h.AddTenant(joinCls)
+		if err != nil {
+			break
+		}
+		if i%2 == 0 {
+			if err := h.RemoveTenant(id); err != nil {
+				t.Errorf("remove %d: %v", id, err)
+			}
+		}
+		if i%3 == 0 {
+			_ = h.RemoveTenant(i) // seed tenant departs mid-run
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	departed := 0
+	for _, tr := range rep.Tenants {
+		if tr.Departed {
+			departed++
+		}
+		if !tr.FloorHonoured() {
+			t.Errorf("tenant %d (departed=%v) floor violated: min grant %d < floor %d",
+				tr.ID, tr.Departed, tr.MinGrant, tr.Floor)
+		}
+	}
+	if departed == 0 {
+		t.Error("no tenant departed mid-run; stress did not exercise leave path")
+	}
+	if h.Arbiter().Tenants() != rep.TenantCount {
+		t.Errorf("arbiter tracks %d rails, report has %d live tenants", h.Arbiter().Tenants(), rep.TenantCount)
+	}
+}
+
+// TestFleetEventsAndBreach forces a host-budget breach on a deliberately
+// tiny budget and checks the arbitration instants land in the flight
+// recorder: a host-arbiter ring with rebalance events, and a tripped dump
+// whose cause is the host breach.
+func TestFleetEventsAndBreach(t *testing.T) {
+	rec := events.NewRecorder(256, time.Second)
+	var dumps []*events.Dump
+	rec.SetSink(func(d *events.Dump) { dumps = append(dumps, d) })
+
+	cfg := smallConfig()
+	cfg.HostBudget = 1 << 20 // four tenants resident-use ~3 MiB: certain breach
+	cfg.Classes[0].Floor = 128 << 10
+	cfg.Classes[1].Floor = 128 << 10
+	cfg.Ticks = 40
+	cfg.Events = rec
+	h, err := NewHost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaches == 0 {
+		t.Fatal("8 MiB host budget never breached; scenario broken")
+	}
+	if rec.Trips() == 0 {
+		t.Fatal("host-budget breach did not trip the flight recorder")
+	}
+	if len(dumps) == 0 || dumps[0].Cause != events.TripHostBudget {
+		t.Fatalf("dump cause = %v, want TripHostBudget", dumps[0].Cause)
+	}
+	var rebalances, levels int
+	for _, ring := range rec.Rings() {
+		if ring.Name() != "host-arbiter" {
+			continue
+		}
+		for _, e := range ring.Snapshot(nil, 0) {
+			switch e.Kind {
+			case events.KindTenantRebalance:
+				rebalances++
+			case events.KindHostLevel:
+				levels++
+			}
+		}
+	}
+	if rebalances == 0 {
+		t.Error("no rebalance events on the host-arbiter ring")
+	}
+	if levels == 0 {
+		t.Error("no host-level transition events despite a breached budget")
+	}
+}
+
+// TestFleetGate is the acceptance gate (make fleet-gate): >= 256 tenants
+// run twice — once effectively unbounded to calibrate natural footprint,
+// once under 75% of that peak — and the governed run must hold host peak
+// RSS within budget+10%, honour every tenant floor, and keep every
+// priority-0 tenant's p99.9 allocation pause inside the PR 7 envelope
+// (2^19 ns). Gated behind MS_FLEET_GATE=1: two 256-tenant fleets are too
+// heavy for the default test run.
+func TestFleetGate(t *testing.T) {
+	if os.Getenv("MS_FLEET_GATE") == "" {
+		t.Skip("set MS_FLEET_GATE=1 to run the fleet acceptance gate")
+	}
+	classes := func(floor uint64) []Class {
+		return []Class{
+			{Name: "gold", Priority: 0, Weight: 4, Tenants: 64, Floor: floor, Workload: "cache", Lambda: 3},
+			{Name: "silver", Priority: 1, Weight: 2, Tenants: 96, Floor: floor, Workload: "churn", Lambda: 4},
+			{Name: "bronze", Priority: 2, Weight: 1, Tenants: 96, Floor: floor, Workload: "burst", Lambda: 4, Burst: 4},
+		}
+	}
+	base := Config{
+		HostBudget:   1 << 42, // calibration: effectively unbounded
+		Classes:      classes(0),
+		Ticks:        96,
+		ArbiterEvery: 4,
+		Seed:         20260809,
+	}
+	if n := base.Tenants(); n < 256 {
+		t.Fatalf("gate fleet has %d tenants, want >= 256", n)
+	}
+	h, err := NewHost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.PeakRSS == 0 {
+		t.Fatal("calibration run recorded no RSS")
+	}
+	t.Logf("calibration: peak %d bytes over %d tenants (%s)", cal.PeakRSS, cal.TenantCount, cal.Elapsed)
+
+	budget := cal.PeakRSS * 3 / 4
+	floor := budget / uint64(2*base.Tenants()) // floors reserve half the budget
+	gov := base
+	gov.HostBudget = budget
+	gov.Classes = classes(floor)
+	h, err = NewHost(gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("governed: budget %d peak %d (%.1f%%) rebalances %d breaches %d pause p99.9 %d ns",
+		budget, rep.PeakRSS, 100*float64(rep.PeakRSS)/float64(budget),
+		rep.Rebalances, rep.Breaches, rep.Pause.P999)
+
+	if limit := budget + budget/10; rep.PeakRSS > limit {
+		t.Errorf("host peak RSS %d exceeds budget+10%% (%d)", rep.PeakRSS, limit)
+	}
+	const pauseEnvelope = 1 << 19 // the PR 7 pause-gate bound, ns
+	for _, tr := range rep.Tenants {
+		if !tr.FloorHonoured() {
+			t.Errorf("tenant %d floor violated: min grant %d < floor %d", tr.ID, tr.MinGrant, tr.Floor)
+		}
+		if tr.Priority == 0 && tr.Pause.P999 > pauseEnvelope {
+			t.Errorf("priority-0 tenant %d p99.9 pause %d ns past the envelope %d", tr.ID, tr.Pause.P999, pauseEnvelope)
+		}
+		if tr.Err != "" {
+			t.Errorf("tenant %d: %s", tr.ID, tr.Err)
+		}
+	}
+}
+
+// BenchmarkFleet64Tenants measures one lock-stepped fleet tick over 64
+// tenants (construction and teardown excluded), the per-tick cost the
+// bench-json envelope tracks.
+func BenchmarkFleet64Tenants(b *testing.B) {
+	cfg := Config{
+		HostBudget: 1 << 32,
+		Classes: []Class{
+			{Name: "gold", Priority: 0, Weight: 4, Tenants: 16, Floor: 1 << 20, Workload: "cache", Lambda: 3},
+			{Name: "silver", Priority: 1, Weight: 2, Tenants: 24, Floor: 1 << 20, Workload: "churn", Lambda: 4},
+			{Name: "bronze", Priority: 2, Weight: 1, Tenants: 24, Floor: 1 << 20, Workload: "burst", Lambda: 4},
+		},
+		ArbiterEvery: 4,
+		Seed:         42,
+	}
+	h, err := NewHost(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Step()
+	}
+}

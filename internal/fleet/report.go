@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"minesweeper/internal/metrics"
+	"minesweeper/internal/telemetry"
+)
+
+// LatencyQuantiles is one histogram's tail summary in nanoseconds (bucket
+// upper bounds, the same resolution msstat and the pause gate report).
+type LatencyQuantiles struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50_ns"`
+	P99   uint64 `json:"p99_ns"`
+	P999  uint64 `json:"p999_ns"`
+}
+
+func quantilesOf(s telemetry.HistogramSnapshot) LatencyQuantiles {
+	return LatencyQuantiles{Count: s.Count, P50: s.P50, P99: s.P99, P999: s.P999}
+}
+
+// TenantReport is one tenant's slice of the fleet report.
+type TenantReport struct {
+	ID       int    `json:"id"`
+	Class    string `json:"class"`
+	Priority int    `json:"priority"`
+	Departed bool   `json:"departed,omitempty"`
+
+	Floor    uint64 `json:"floor"`
+	Budget   uint64 `json:"budget"`    // final rail
+	MinGrant uint64 `json:"min_grant"` // smallest rail ever published
+	PeakRSS  uint64 `json:"peak_rss"`
+
+	Mallocs uint64 `json:"mallocs"`
+	Frees   uint64 `json:"frees"`
+
+	Malloc LatencyQuantiles `json:"malloc"`
+	Free   LatencyQuantiles `json:"free"`
+	Pause  LatencyQuantiles `json:"pause"`
+
+	Throttles    uint64 `json:"throttles"`
+	StarveAverts uint64 `json:"starve_averts"`
+	Level        string `json:"level"`
+	Err          string `json:"err,omitempty"`
+}
+
+// FloorHonoured reports whether every rail ever published to this tenant
+// was at least its floor — the starvation guarantee, checked rather than
+// assumed.
+func (tr TenantReport) FloorHonoured() bool { return tr.MinGrant >= tr.Floor }
+
+// Report is the fleet-wide outcome of one Host.Run: per-tenant telemetry
+// plus host aggregates (bucket-merged histograms, so host quantiles are
+// exact over the union of samples, not averages of averages).
+type Report struct {
+	HostBudget   uint64        `json:"host_budget"`
+	PeakRSS      uint64        `json:"peak_rss"`
+	AvgRSS       uint64        `json:"avg_rss"`
+	TenantCount  int           `json:"tenant_count"`
+	Ticks        int           `json:"ticks"`
+	Breaches     uint64        `json:"breaches"`
+	Rebalances   uint64        `json:"rebalances"`
+	LevelChanges uint64        `json:"level_changes"`
+	Level        string        `json:"level"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+
+	Malloc LatencyQuantiles `json:"malloc"`
+	Free   LatencyQuantiles `json:"free"`
+	Pause  LatencyQuantiles `json:"pause"`
+
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// report snapshots one tenant's counters and histograms. Called at tick
+// boundaries or after teardown (registries outlive their heap).
+func (t *Tenant) report() TenantReport {
+	tr := TenantReport{
+		ID:           t.ID,
+		Class:        t.Class,
+		Priority:     t.Priority,
+		Floor:        t.Floor,
+		Budget:       t.plane.Budget(),
+		MinGrant:     t.minGrant,
+		PeakRSS:      t.peakRSS,
+		Throttles:    t.throttles,
+		StarveAverts: t.starveAverts,
+		Level:        t.plane.Level().String(),
+		Malloc:       quantilesOf(t.tel.Malloc.Snapshot()),
+		Free:         quantilesOf(t.tel.Free.Snapshot()),
+		Pause:        quantilesOf(t.tel.Pause.Snapshot()),
+	}
+	if t.heap != nil {
+		st := t.heap.Stats()
+		tr.Mallocs = st.Mallocs
+		tr.Frees = st.Frees
+	}
+	if t.serveErr != nil {
+		tr.Err = t.serveErr.Error()
+	}
+	return tr
+}
+
+// buildReport aggregates every tenant (live and departed) into the fleet
+// report.
+func (h *Host) buildReport(sampler *metrics.Sampler, elapsed time.Duration) *Report {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rep := &Report{
+		HostBudget:   h.cfg.HostBudget,
+		TenantCount:  len(h.tenants),
+		Ticks:        h.cfg.Ticks,
+		Breaches:     h.breaches,
+		Rebalances:   h.arb.Rebalances(),
+		LevelChanges: h.levelChanges,
+		Level:        h.arb.Level().String(),
+		Elapsed:      elapsed,
+		PeakRSS:      h.peakRSS,
+		AvgRSS:       sampler.Avg(),
+	}
+	if p := sampler.Peak(); p > rep.PeakRSS {
+		rep.PeakRSS = p
+	}
+	var mall, free, pause telemetry.HistogramSnapshot
+	for _, t := range h.tenants {
+		tr := t.report()
+		rep.Tenants = append(rep.Tenants, tr)
+		mall = mall.Merge(t.tel.Malloc.Snapshot())
+		free = free.Merge(t.tel.Free.Snapshot())
+		pause = pause.Merge(t.tel.Pause.Snapshot())
+	}
+	rep.Tenants = append(rep.Tenants, h.departed...)
+	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].ID < rep.Tenants[j].ID })
+	rep.Malloc = quantilesOf(mall)
+	rep.Free = quantilesOf(free)
+	rep.Pause = quantilesOf(pause)
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the host summary and a per-tenant table (tenants sorted
+// by ID; departed tenants flagged).
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "fleet: %d tenants, %d ticks, %s elapsed\n", r.TenantCount, r.Ticks, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "host:  budget %s  peak %s (%.1f%%)  avg %s  level %s  rebalances %d  level-changes %d  breaches %d\n",
+		metrics.FmtMiB(r.HostBudget), metrics.FmtMiB(r.PeakRSS),
+		100*float64(r.PeakRSS)/float64(r.HostBudget),
+		metrics.FmtMiB(r.AvgRSS), r.Level, r.Rebalances, r.LevelChanges, r.Breaches)
+	fmt.Fprintf(w, "lat:   malloc p50<%d p99<%d p99.9<%d ns  free p50<%d p99<%d p99.9<%d ns  pause p99.9<%d ns\n",
+		r.Malloc.P50, r.Malloc.P99, r.Malloc.P999,
+		r.Free.P50, r.Free.P99, r.Free.P999, r.Pause.P999)
+	tab := metrics.NewTable("tenant", "class", "prio", "floor", "rail", "peak-rss", "malloc-p99", "pause-p99.9", "throttles", "starved", "flags")
+	for _, t := range r.Tenants {
+		flags := ""
+		if t.Departed {
+			flags += "departed "
+		}
+		if !t.FloorHonoured() {
+			flags += "FLOOR-VIOLATED "
+		}
+		if t.Err != "" {
+			flags += "ERR "
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", t.ID), t.Class, fmt.Sprintf("%d", t.Priority),
+			metrics.FmtMiB(t.Floor), metrics.FmtMiB(t.Budget), metrics.FmtMiB(t.PeakRSS),
+			fmt.Sprintf("%d", t.Malloc.P99), fmt.Sprintf("%d", t.Pause.P999),
+			fmt.Sprintf("%d", t.Throttles), fmt.Sprintf("%d", t.StarveAverts), flags)
+	}
+	_, err := io.WriteString(w, tab.String())
+	return err
+}

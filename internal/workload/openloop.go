@@ -1,0 +1,482 @@
+// Open-loop traffic generation for the fleet simulation (internal/fleet).
+//
+// The profiles in this package are closed-loop: each thread issues its next
+// operation the moment the previous one returns, so the offered load adapts
+// to however fast the allocator happens to be. Production services are the
+// opposite — users arrive whether or not the service is keeping up — and the
+// difference matters for a memory governor: under closed-loop load a
+// throttled tenant simply slows down, while under open-loop load its backlog
+// and live set keep growing, which is exactly the pressure a host arbiter
+// must absorb. The fleet layer therefore drives every tenant from an
+// ArrivalProcess (Poisson, or a Markov-modulated Poisson process whose rate
+// switches between quiet and burst states) and a Service kernel that performs
+// the per-request allocator work, with arrivals drawn per tick independent of
+// service completion.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/sim"
+)
+
+// ArrivalProcess draws how many requests arrive in one simulation tick.
+// Implementations carry their own modulation state (MMPP's current rate
+// state), so each tenant owns a private instance.
+type ArrivalProcess interface {
+	// Name identifies the process in reports ("poisson(8)", "mmpp").
+	Name() string
+	// Arrivals draws the arrival count for the next tick.
+	Arrivals(r *sim.Rand) int
+}
+
+// Poisson is a homogeneous Poisson arrival process: independent ticks,
+// Lambda expected arrivals per tick. The session-count interpretation: a
+// tenant serving a large user population at aggregate request rate λ per
+// tick — individual users are independent, so only λ matters.
+type Poisson struct {
+	// Lambda is the expected arrivals per tick (> 0).
+	Lambda float64
+}
+
+// Name implements ArrivalProcess.
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(%g)", p.Lambda) }
+
+// Arrivals implements ArrivalProcess.
+func (p Poisson) Arrivals(r *sim.Rand) int { return poissonDraw(r, p.Lambda) }
+
+// poissonDraw samples Poisson(lambda): Knuth's product method for small
+// rates, a clamped Box-Muller normal approximation past it (the product
+// method needs exp(-λ) multiplications, which both underflows and costs
+// O(λ)). All randomness comes from the caller's sim.Rand, so draws are
+// deterministic per seed.
+func poissonDraw(r *sim.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		// Knuth: count multiplications until the uniform product drops
+		// below e^-λ.
+		limit := math.Exp(-lambda)
+		n := 0
+		prod := 1.0
+		for {
+			prod *= r.Float64()
+			if prod < limit {
+				return n
+			}
+			n++
+		}
+	}
+	// Normal approximation N(λ, λ), continuity-corrected and clamped at 0.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*r.Float64())
+	n := int(lambda + z*math.Sqrt(lambda) + 0.5)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// MMPPState is one rate state of a Markov-modulated Poisson process.
+type MMPPState struct {
+	// Lambda is the Poisson rate while in this state.
+	Lambda float64
+	// Stay is the per-tick probability of remaining in this state; with
+	// probability 1-Stay the process steps to the next state (cyclically).
+	Stay float64
+}
+
+// MMPP is a Markov-modulated Poisson process: arrivals are Poisson at the
+// current state's rate, and the state follows a cyclic Markov chain. Two
+// states — a quiet baseline and a burst — reproduce the diurnal/bursty load
+// shapes that make a static per-tenant budget either wasteful or unsafe,
+// which is the case for re-granting rails at runtime.
+type MMPP struct {
+	States []MMPPState
+	state  int
+}
+
+// NewMMPP returns a two-state quiet/burst MMPP: quiet rate lambda, burst
+// rate burst×lambda, expected quiet dwell quietTicks and burst dwell
+// burstTicks.
+func NewMMPP(lambda, burst float64, quietTicks, burstTicks int) *MMPP {
+	stay := func(ticks int) float64 {
+		if ticks <= 1 {
+			return 0
+		}
+		return 1 - 1/float64(ticks)
+	}
+	return &MMPP{States: []MMPPState{
+		{Lambda: lambda, Stay: stay(quietTicks)},
+		{Lambda: lambda * burst, Stay: stay(burstTicks)},
+	}}
+}
+
+// Name implements ArrivalProcess.
+func (m *MMPP) Name() string { return fmt.Sprintf("mmpp(%d states)", len(m.States)) }
+
+// State returns the current modulation state index (tests).
+func (m *MMPP) State() int { return m.state }
+
+// Arrivals implements ArrivalProcess.
+func (m *MMPP) Arrivals(r *sim.Rand) int {
+	if len(m.States) == 0 {
+		return 0
+	}
+	st := m.States[m.state]
+	if r.Float64() >= st.Stay {
+		m.state = (m.state + 1) % len(m.States)
+	}
+	return poissonDraw(r, st.Lambda)
+}
+
+// Service is one tenant's request-serving kernel: Serve performs the
+// allocator work for n arrived requests, Close tears the service's live set
+// down (tenant shutdown frees everything, so a final sweep can reclaim it).
+type Service interface {
+	Serve(n int) error
+	Close() error
+}
+
+// PressureFunc reports the tenant's current memory-pressure level: 0
+// nominal, 1 elevated, 2 critical (the control.Level values, passed as an
+// int so the workload layer stays decoupled from the control package).
+type PressureFunc func() int
+
+// PressureAware is implemented by services that shed load under memory
+// pressure — the application half of the fleet's host<->tenant protocol.
+// The host arbiter squeezes a tenant's budget rail, the tenant's governor
+// plane crosses into Elevated/Critical at its next sweep boundary, and the
+// service reads that level and sheds (evicts cache entries, shrinks pools,
+// flushes batches). Allocator-level tightening alone cannot shrink an
+// application's live set; this is the hook real co-located services (cache
+// eviction under memcg pressure) implement. With no PressureFunc attached,
+// behaviour is bit-identical to the pressure-blind kernels.
+type PressureAware interface {
+	SetPressure(PressureFunc)
+}
+
+// NewService builds the named service kernel on a thread. Kinds:
+//
+//   - "cache": the examples/webcache shape — a fixed-slot connection cache
+//     with eviction churn and session references that outlive entries
+//     (sessions are modelled correctly here: the fleet measures performance
+//     isolation, not exploitability, so references are erased before frees);
+//   - "churn": larson-style slot churn — every request frees and reallocates
+//     random slots, the allocation-heaviest shape;
+//   - "burst": arena-style batching — requests accumulate allocations and
+//     every batchEvery-th request frees the whole batch, the shape with the
+//     spikiest quarantine inflow.
+//
+// sizes may be nil for the kind's default distribution.
+func NewService(kind string, th *sim.Thread, seed uint64, sizes SizeDist) (Service, error) {
+	r := sim.NewRand(seed)
+	switch kind {
+	case "", "cache":
+		if sizes == nil {
+			sizes = SizeDist{{Lo: 128, Hi: 1024, Weight: 80}, {Lo: 1025, Hi: 8192, Weight: 20}}
+		}
+		return &cacheService{th: th, r: r, sizes: sizes,
+			slots:    make([]uint64, 128),
+			sessions: make([]session, 0, 16),
+		}, nil
+	case "churn":
+		if sizes == nil {
+			sizes = SizeDist{{Lo: 32, Hi: 512, Weight: 70}, {Lo: 513, Hi: 4096, Weight: 30}}
+		}
+		return &churnService{th: th, r: r, sizes: sizes, slots: make([]uint64, 256)}, nil
+	case "burst":
+		if sizes == nil {
+			sizes = SizeDist{{Lo: 256, Hi: 2048, Weight: 60}, {Lo: 2049, Hi: 16384, Weight: 40}}
+		}
+		return &burstService{th: th, r: r, sizes: sizes, batchEvery: 64}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown service kind %q (want cache, churn or burst)", kind)
+	}
+}
+
+// session is one cache client holding a reference to an entry.
+type session struct {
+	slot int    // stack slot index holding the pointer
+	ttl  int    // requests until the session expires
+	addr uint64 // the referenced entry (bookkeeping; the pointer lives in the stack slot)
+}
+
+// cacheService is the webcache-shaped kernel: misses allocate entries, hits
+// touch them, periodic evictions free them, and sessions pin entries in
+// stack slots for a while (real in-memory pointers the sweep can see, so
+// quarantined entries are genuinely retained until sessions expire).
+type cacheService struct {
+	th       *sim.Thread
+	r        *sim.Rand
+	sizes    SizeDist
+	slots    []uint64 // slot -> entry address (0 = empty)
+	sessions []session
+	pressure PressureFunc
+}
+
+// SetPressure implements PressureAware: under Elevated pressure eviction
+// doubles and no new sessions pin entries; under Critical the cache
+// additionally sheds a batch of entries per request, draining the live set
+// toward empty.
+func (c *cacheService) SetPressure(p PressureFunc) { c.pressure = p }
+
+// evict expires every session pinning entry e, then frees it.
+func (c *cacheService) evict(slot int, e uint64) error {
+	for si := 0; si < len(c.sessions); {
+		if c.sessions[si].addr == e {
+			if err := c.dropSession(si); err != nil {
+				return err
+			}
+			continue
+		}
+		si++
+	}
+	if err := c.th.Free(e); err != nil {
+		return err
+	}
+	c.slots[slot] = 0
+	return nil
+}
+
+func (c *cacheService) Serve(n int) error {
+	level := 0
+	if c.pressure != nil {
+		level = c.pressure()
+	}
+	evictDiv := 8 // 1-in-8 eviction at Nominal
+	if level >= 1 {
+		evictDiv = 2
+	}
+	for i := 0; i < n; i++ {
+		if level >= 2 {
+			// Critical: proactively shed a batch of entries before
+			// serving — the cache resizes itself to the squeezed rail.
+			for k := 0; k < 4; k++ {
+				s := c.r.Intn(len(c.slots))
+				if e := c.slots[s]; e != 0 {
+					if err := c.evict(s, e); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		slot := c.r.Intn(len(c.slots))
+		e := c.slots[slot]
+		if e == 0 {
+			// Miss: allocate and initialise an entry.
+			size := c.sizes.Sample(c.r)
+			addr, err := c.th.Malloc(size)
+			if err != nil {
+				return err
+			}
+			words := int(size / mem.WordSize)
+			for w := 0; w < words; w += 8 {
+				if err := c.th.Store(addr+uint64(w)*mem.WordSize, c.r.Uint64()&payloadMask); err != nil {
+					return err
+				}
+			}
+			c.slots[slot] = addr
+			// Some requests open a session pinning the entry (none under
+			// pressure: sessions are what hold memory hostage).
+			if level == 0 && len(c.sessions) < cap(c.sessions) && c.r.Intn(4) == 0 {
+				si := len(c.sessions)
+				if err := c.th.Store(c.th.StackSlot(si), addr); err != nil {
+					return err
+				}
+				c.sessions = append(c.sessions, session{slot: si, ttl: 8 + c.r.Intn(64), addr: addr})
+			}
+			continue
+		}
+		// Hit: touch a word of the entry.
+		if _, err := c.th.Load(e); err != nil {
+			return err
+		}
+		// Periodic eviction: expire the sessions pinning this entry first
+		// (correct-program discipline — the fleet measures isolation, not
+		// exploitability), then free it.
+		if c.r.Intn(evictDiv) == 0 {
+			if err := c.evict(slot, e); err != nil {
+				return err
+			}
+		}
+		// Session churn: ttls tick down; expired sessions release their pin.
+		for si := 0; si < len(c.sessions); {
+			c.sessions[si].ttl--
+			if c.sessions[si].ttl <= 0 {
+				if err := c.dropSession(si); err != nil {
+					return err
+				}
+				continue
+			}
+			si++
+		}
+	}
+	return nil
+}
+
+// dropSession erases the session's stack pointer and swap-removes it.
+func (c *cacheService) dropSession(i int) error {
+	s := c.sessions[i]
+	if err := c.th.Store(c.th.StackSlot(s.slot), 0); err != nil {
+		return err
+	}
+	last := len(c.sessions) - 1
+	if i != last {
+		c.sessions[i] = c.sessions[last]
+		// The moved session keeps its own stack slot; only bookkeeping moves.
+	}
+	c.sessions = c.sessions[:last]
+	return nil
+}
+
+func (c *cacheService) Close() error {
+	for i := len(c.sessions) - 1; i >= 0; i-- {
+		if err := c.dropSession(i); err != nil {
+			return err
+		}
+	}
+	for slot, e := range c.slots {
+		if e != 0 {
+			if err := c.th.Free(e); err != nil {
+				return err
+			}
+			c.slots[slot] = 0
+		}
+	}
+	return nil
+}
+
+// churnService is larson-style slot churn: each request frees a random live
+// slot and reallocates it.
+type churnService struct {
+	th       *sim.Thread
+	r        *sim.Rand
+	sizes    SizeDist
+	slots    []uint64
+	pressure PressureFunc
+}
+
+// SetPressure implements PressureAware: under Elevated pressure only half
+// the freed slots are refilled; under Critical none are (and an extra slot
+// is drained per request), so the pool shrinks toward empty while arrivals
+// keep coming.
+func (c *churnService) SetPressure(p PressureFunc) { c.pressure = p }
+
+func (c *churnService) Serve(n int) error {
+	level := 0
+	if c.pressure != nil {
+		level = c.pressure()
+	}
+	for i := 0; i < n; i++ {
+		slot := c.r.Intn(len(c.slots))
+		if c.slots[slot] != 0 {
+			if err := c.th.Free(c.slots[slot]); err != nil {
+				return err
+			}
+			c.slots[slot] = 0
+		}
+		if level >= 2 {
+			// Critical: drain an extra slot and refill nothing.
+			s := c.r.Intn(len(c.slots))
+			if c.slots[s] != 0 {
+				if err := c.th.Free(c.slots[s]); err != nil {
+					return err
+				}
+				c.slots[s] = 0
+			}
+			continue
+		}
+		if level == 1 && c.r.Intn(2) == 0 {
+			continue // Elevated: refill only half the churned slots.
+		}
+		addr, err := c.th.Malloc(c.sizes.Sample(c.r))
+		if err != nil {
+			return err
+		}
+		if err := c.th.Store(addr, c.r.Uint64()&payloadMask); err != nil {
+			return err
+		}
+		c.slots[slot] = addr
+	}
+	return nil
+}
+
+func (c *churnService) Close() error {
+	for i, a := range c.slots {
+		if a != 0 {
+			if err := c.th.Free(a); err != nil {
+				return err
+			}
+			c.slots[i] = 0
+		}
+	}
+	return nil
+}
+
+// burstService accumulates allocations and frees them in whole-batch bursts.
+type burstService struct {
+	th         *sim.Thread
+	r          *sim.Rand
+	sizes      SizeDist
+	batch      []uint64
+	batchEvery int
+	served     int
+	pressure   PressureFunc
+}
+
+// SetPressure implements PressureAware: pressure shortens the batch —
+// quartered at Elevated, flushed after every request at Critical — so the
+// spiky quarantine inflow this kernel exists to produce flattens out when
+// the tenant's rail is squeezed.
+func (b *burstService) SetPressure(p PressureFunc) { b.pressure = p }
+
+func (b *burstService) Serve(n int) error {
+	every := b.batchEvery
+	if b.pressure != nil {
+		switch b.pressure() {
+		case 1:
+			every = b.batchEvery / 4
+		case 2:
+			every = 1
+		}
+	}
+	if every < 1 {
+		every = 1
+	}
+	for i := 0; i < n; i++ {
+		addr, err := b.th.Malloc(b.sizes.Sample(b.r))
+		if err != nil {
+			return err
+		}
+		if err := b.th.Store(addr, b.r.Uint64()&payloadMask); err != nil {
+			return err
+		}
+		b.batch = append(b.batch, addr)
+		b.served++
+		if len(b.batch) >= every || b.served%b.batchEvery == 0 {
+			if err := b.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *burstService) flush() error {
+	for _, a := range b.batch {
+		if err := b.th.Free(a); err != nil {
+			return err
+		}
+	}
+	b.batch = b.batch[:0]
+	return nil
+}
+
+func (b *burstService) Close() error { return b.flush() }

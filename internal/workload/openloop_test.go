@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"testing"
+
+	"minesweeper/internal/mem"
+	"minesweeper/internal/schemes"
+	"minesweeper/internal/sim"
+)
+
+// TestPoissonMoments checks the Poisson sampler's mean and variance across
+// both regimes (Knuth product below λ=30, normal approximation above).
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 12, 64} {
+		r := sim.NewRand(7)
+		const draws = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			n := float64(poissonDraw(r, lambda))
+			sum += n
+			sumSq += n * n
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		if mean < lambda*0.95 || mean > lambda*1.05 {
+			t.Errorf("lambda %v: mean %v off by more than 5%%", lambda, mean)
+		}
+		if variance < lambda*0.85 || variance > lambda*1.15 {
+			t.Errorf("lambda %v: variance %v should be near lambda", lambda, variance)
+		}
+	}
+	if n := poissonDraw(sim.NewRand(1), 0); n != 0 {
+		t.Errorf("lambda 0 drew %d arrivals", n)
+	}
+}
+
+// TestMMPPModulation checks the two-state process actually dwells in both
+// states with the configured proportions and that burst-state rates are
+// higher.
+func TestMMPPModulation(t *testing.T) {
+	m := NewMMPP(4, 8, 100, 25)
+	r := sim.NewRand(42)
+	const ticks = 40000
+	dwell := [2]int{}
+	arrivals := [2]float64{}
+	for i := 0; i < ticks; i++ {
+		st := m.State()
+		n := m.Arrivals(r)
+		dwell[st]++
+		arrivals[st] += float64(n)
+	}
+	if dwell[0] == 0 || dwell[1] == 0 {
+		t.Fatalf("process never left a state: dwell %v", dwell)
+	}
+	// Expected dwell proportion: 100 : 25 = 4 : 1, within a loose band.
+	frac := float64(dwell[0]) / ticks
+	if frac < 0.70 || frac > 0.90 {
+		t.Errorf("quiet-state dwell fraction %v outside [0.70, 0.90]", frac)
+	}
+	quietRate := arrivals[0] / float64(dwell[0])
+	burstRate := arrivals[1] / float64(dwell[1])
+	if burstRate < quietRate*4 {
+		t.Errorf("burst rate %v not clearly above quiet rate %v (want 8x configured)", burstRate, quietRate)
+	}
+}
+
+// TestServiceKernels runs each service kind open-loop on a MineSweeper heap
+// and checks it serves without errors and tears down to an empty live set
+// (mallocs == frees after Close).
+func TestServiceKernels(t *testing.T) {
+	for _, kind := range []string{"cache", "churn", "burst"} {
+		t.Run(kind, func(t *testing.T) {
+			space := mem.NewAddressSpace()
+			world := sim.NewWorld()
+			heap, err := schemes.New(schemes.MineSweeper).Build(space, world)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := sim.NewProgram(space, heap, world)
+			if err != nil {
+				heap.Shutdown()
+				t.Fatal(err)
+			}
+			th, err := prog.NewThread(11)
+			if err != nil {
+				heap.Shutdown()
+				t.Fatal(err)
+			}
+
+			svc, err := NewService(kind, th, 99, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr := Poisson{Lambda: 6}
+			r := sim.NewRand(5)
+			for tick := 0; tick < 400; tick++ {
+				if err := svc.Serve(arr.Arrivals(r)); err != nil {
+					t.Fatalf("tick %d: %v", tick, err)
+				}
+			}
+			if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			th.Close()
+			heap.Shutdown() // drains every thread ring and quiesces sweeps
+			st := heap.Stats()
+			if st.Mallocs == 0 {
+				t.Fatal("service performed no allocations")
+			}
+			// Every allocation is either substrate-freed or quarantined after
+			// Close: live bytes must reach zero (frees only reach the
+			// substrate's Frees counter once a sweep proves them safe).
+			if st.Allocated != 0 {
+				t.Errorf("%d live bytes remain after teardown", st.Allocated)
+			}
+		})
+	}
+	if _, err := NewService("nope", nil, 0, nil); err == nil {
+		t.Error("unknown service kind accepted")
+	}
+}
+
+// TestServicePressureSheds checks the PressureAware half of the fleet
+// protocol: a cache driven at Critical drains its live set, and dropping
+// back to Nominal lets it refill. The churn kernel must likewise empty its
+// pool under Critical.
+func TestServicePressureSheds(t *testing.T) {
+	space := mem.NewAddressSpace()
+	world := sim.NewWorld()
+	heap, err := schemes.New(schemes.MineSweeper).Build(space, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sim.NewProgram(space, heap, world)
+	if err != nil {
+		heap.Shutdown()
+		t.Fatal(err)
+	}
+	th, err := prog.NewThread(3)
+	if err != nil {
+		heap.Shutdown()
+		t.Fatal(err)
+	}
+	level := 0
+	occupied := func(slots []uint64) int {
+		n := 0
+		for _, s := range slots {
+			if s != 0 {
+				n++
+			}
+		}
+		return n
+	}
+
+	svc, err := NewService("cache", th, 17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := svc.(*cacheService)
+	cache.SetPressure(func() int { return level })
+	for i := 0; i < 200; i++ {
+		if err := svc.Serve(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := occupied(cache.slots)
+	if full < len(cache.slots)/2 {
+		t.Fatalf("nominal cache only filled %d/%d slots", full, len(cache.slots))
+	}
+	level = 2
+	for i := 0; i < 100; i++ {
+		if err := svc.Serve(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shed := occupied(cache.slots)
+	if shed >= full/2 {
+		t.Errorf("critical pressure shed %d -> %d slots; want at least halved", full, shed)
+	}
+	if len(cache.sessions) != 0 {
+		t.Errorf("%d sessions survive Critical", len(cache.sessions))
+	}
+	level = 0
+	for i := 0; i < 200; i++ {
+		if err := svc.Serve(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if refilled := occupied(cache.slots); refilled <= shed {
+		t.Errorf("cache did not refill after pressure cleared: %d -> %d", shed, refilled)
+	}
+
+	churn, err := NewService("churn", th, 23, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := churn.(*churnService)
+	cs.SetPressure(func() int { return level })
+	for i := 0; i < 200; i++ {
+		if err := churn.Serve(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	level = 2
+	for i := 0; i < 300; i++ {
+		if err := churn.Serve(6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := occupied(cs.slots); n > len(cs.slots)/8 {
+		t.Errorf("churn pool kept %d/%d slots under Critical", n, len(cs.slots))
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := churn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	heap.Shutdown()
+}
